@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+Set ``REPRO_BENCH_DATASETS=small`` to restrict the sweeps to the eight
+smallest dataset analogues (quick sanity runs); the default regenerates
+every table over all 20 datasets like the paper.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.runner import BenchCache
+from repro.graph import datasets
+
+
+def bench_dataset_names() -> tuple[str, ...]:
+    if os.environ.get("REPRO_BENCH_DATASETS", "all") == "small":
+        return datasets.small_dataset_names(8)
+    return datasets.dataset_names()
+
+
+@pytest.fixture(scope="session")
+def dataset_names():
+    return bench_dataset_names()
+
+
+@pytest.fixture(scope="session")
+def cache():
+    """Memoised program outcomes shared by the Table III and V benches."""
+    return BenchCache()

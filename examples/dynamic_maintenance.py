@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Streaming core maintenance on a dynamic graph.
+
+The alternative to the paper's "decompose every snapshot" workflow
+(Section II-C): maintain core numbers *incrementally* as edges arrive
+and depart.  This example streams edge updates into a social network
+and compares the incremental maintainer against full recomputation —
+both in agreement (always) and in touched work (the point of the
+traversal algorithm: updates stay local).
+
+Also demonstrates the multi-GPU partitioned decomposition of the same
+graph (the paper's Section VII future-work sketch).
+
+Run:  python examples/dynamic_maintenance.py
+"""
+
+import numpy as np
+
+from repro.analysis.maintenance import DynamicCoreMaintainer
+from repro.core.multigpu import multi_gpu_peel
+from repro.cpu.bz import bz_core_numbers
+from repro.graph import generators as gen
+
+
+def main() -> None:
+    graph = gen.barabasi_albert(2_000, attach=4, seed=17)
+    maintainer = DynamicCoreMaintainer(graph)
+    print(f"Base graph: {graph}; k_max = {maintainer.core_numbers().max()}")
+
+    # -- stream 200 random updates ---------------------------------------
+    rng = np.random.default_rng(4)
+    existing = list(graph.edges())
+    inserts = deletes = 0
+    touched = 0
+    for _ in range(200):
+        if existing and rng.random() < 0.4:
+            u, v = existing.pop(int(rng.integers(0, len(existing))))
+            if maintainer.has_edge(u, v):
+                changed = maintainer.remove_edge(u, v)
+                deletes += 1
+                touched += len(changed)
+            continue
+        u, v = map(int, rng.integers(0, graph.num_vertices, size=2))
+        if u == v:
+            continue
+        changed = maintainer.insert_edge(u, v)
+        inserts += 1
+        touched += len(changed)
+    print(f"\nStreamed {inserts} insertions and {deletes} deletions; "
+          f"only {touched} core numbers changed in total "
+          f"(locality is the whole point)")
+
+    # -- verify against a full recomputation ------------------------------
+    snapshot = maintainer.to_graph()
+    fresh = bz_core_numbers(snapshot)
+    assert np.array_equal(maintainer.core_numbers(), fresh)
+    print("Incremental result verified against a full BZ recomputation.")
+
+    # -- the multi-GPU future-work extension on the final graph ----------
+    for devices in (1, 2, 4):
+        result = multi_gpu_peel(snapshot, num_devices=devices)
+        assert np.array_equal(result.core, fresh)
+        print(f"  {devices} simulated GPU(s): {result.simulated_ms:.3f} ms, "
+              f"{result.stats['sub_rounds']} sub-rounds, per-device peak "
+              f"{result.peak_memory_bytes / 1024:.0f} KiB")
+    print("(Aggregation overhead dominates at this scale - the reason "
+          "the paper leaves multi-GPU as future work.)")
+
+
+if __name__ == "__main__":
+    main()

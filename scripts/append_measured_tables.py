@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Append the measured tables under benchmarks/results/ to EXPERIMENTS.md.
+
+Run after a full bench sweep; replaces everything below the appendix
+marker so the file stays idempotent.
+"""
+
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+MARKER = "## Appendix: measured tables (full 20-dataset sweep)"
+
+ORDER = [
+    "table1_datasets",
+    "table2_ablation",
+    "table3_gpu",
+    "table4_cpu",
+    "table5_memory",
+    "fig10_case_study",
+]
+
+
+def main() -> None:
+    experiments = ROOT / "EXPERIMENTS.md"
+    text = experiments.read_text()
+    if MARKER in text:
+        text = text[: text.index(MARKER)].rstrip() + "\n"
+    blocks = [MARKER, ""]
+    for name in ORDER:
+        path = ROOT / "benchmarks" / "results" / f"{name}.txt"
+        if not path.exists():
+            continue
+        blocks.append("```")
+        blocks.append(path.read_text().rstrip())
+        blocks.append("```")
+        blocks.append("")
+    experiments.write_text(text + "\n" + "\n".join(blocks))
+    print(f"appended {len(ORDER)} tables to {experiments}")
+
+
+if __name__ == "__main__":
+    main()

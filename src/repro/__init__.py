@@ -1,0 +1,34 @@
+"""repro — reproduction of "Accelerating k-Core Decomposition by a GPU"
+(ICDE 2023).
+
+The package provides:
+
+* :func:`repro.decompose` / :class:`repro.KCoreDecomposer` — the public
+  decomposition API (fast native path or simulated-GPU kernels);
+* ``repro.graph`` — CSR graphs, IO, generators and the Table I dataset
+  registry;
+* ``repro.gpusim`` — the SIMT GPU simulator the paper's kernels run on;
+* ``repro.core`` — the paper's peeling kernels and ablation variants;
+* ``repro.cpu`` / ``repro.multicore`` — the CPU baselines of Table IV;
+* ``repro.systems`` — Medusa / Gunrock / GSWITCH / VETGA emulations;
+* ``repro.analysis`` — shells, core hierarchy, and the Fig. 10 case
+  study;
+* ``repro.bench`` — the harness that regenerates the paper's tables.
+"""
+
+from repro.api import ALGORITHMS, algorithm_names, decompose
+from repro.core.decomposer import KCoreDecomposer
+from repro.graph.csr import CSRGraph
+from repro.result import DecompositionResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "algorithm_names",
+    "decompose",
+    "KCoreDecomposer",
+    "CSRGraph",
+    "DecompositionResult",
+    "__version__",
+]

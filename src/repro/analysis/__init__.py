@@ -1,0 +1,42 @@
+"""Applications of k-core decomposition: shells, hierarchy, case study."""
+
+from repro.analysis.case_study import (
+    CaseStudyResult,
+    TemporalCitationCorpus,
+    author_interaction_snapshot,
+    compare_snapshots,
+    synthesize_citation_corpus,
+)
+from repro.analysis.hierarchy import (
+    CoreComponent,
+    CoreHierarchy,
+    build_core_hierarchy,
+)
+from repro.analysis.ordering import prune_for_clique_size, smallest_last_coloring
+from repro.analysis.shells import (
+    degeneracy,
+    k_core_components,
+    k_core_subgraph,
+    k_core_vertices,
+    k_shell,
+    shell_sizes,
+)
+
+__all__ = [
+    "CaseStudyResult",
+    "TemporalCitationCorpus",
+    "author_interaction_snapshot",
+    "compare_snapshots",
+    "synthesize_citation_corpus",
+    "CoreComponent",
+    "CoreHierarchy",
+    "build_core_hierarchy",
+    "prune_for_clique_size",
+    "smallest_last_coloring",
+    "degeneracy",
+    "k_core_components",
+    "k_core_subgraph",
+    "k_core_vertices",
+    "k_shell",
+    "shell_sizes",
+]

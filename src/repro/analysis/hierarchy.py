@@ -1,0 +1,172 @@
+"""Hierarchical core decomposition (HCD, Section II-C of the paper).
+
+HCD organises a graph's k-core connected components into a forest: each
+tree node is one connected component of some k-core, and its parent is
+the (k-1)-core component that contains it.  The forest supports the
+"find the best k-core component containing v" queries of Chu et al.
+and is computable in linear time (Matula & Beck); we build it with one
+pass over vertices in *descending* core-number order using union-find,
+then answer containment queries directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.fastpath import peel_fast
+from repro.graph.csr import CSRGraph
+
+__all__ = ["CoreComponent", "CoreHierarchy", "build_core_hierarchy"]
+
+
+@dataclass
+class CoreComponent:
+    """One node of the HCD forest: a connected component of a k-core."""
+
+    node_id: int
+    k: int
+    vertices: np.ndarray
+    parent: Optional[int] = None
+    children: List[int] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return int(self.vertices.size)
+
+
+class _UnionFind:
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(n)
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = int(self.parent[root])
+        while self.parent[x] != root:  # path compression
+            self.parent[x], x = root, int(self.parent[x])
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+        return ra
+
+
+@dataclass
+class CoreHierarchy:
+    """The HCD forest plus query helpers."""
+
+    nodes: Dict[int, CoreComponent]
+    roots: List[int]
+    core: np.ndarray
+    #: node id of the deepest (largest-k) component containing a vertex
+    leaf_of_vertex: np.ndarray
+
+    def component_of(self, vertex: int, k: int) -> Optional[CoreComponent]:
+        """The k-core component containing ``vertex`` (None if its core
+        number is below ``k``).
+
+        Tree nodes exist only at levels where a component's membership
+        changed, so the answer is the node on the leaf-to-root path with
+        the *smallest* level still ``>= k``.
+        """
+        if self.core[vertex] < k:
+            return None
+        node = self.nodes[int(self.leaf_of_vertex[vertex])]
+        while node.parent is not None and self.nodes[node.parent].k >= k:
+            node = self.nodes[node.parent]
+        return node
+
+    def best_component_of(self, vertex: int) -> CoreComponent:
+        """The deepest component containing ``vertex`` — the "best"
+        k-core in the sense of Chu et al."""
+        return self.nodes[int(self.leaf_of_vertex[vertex])]
+
+    def components_at(self, k: int) -> List[CoreComponent]:
+        """All k-core components (nodes with exactly this ``k``)."""
+        return [n for n in self.nodes.values() if n.k == k]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+
+def build_core_hierarchy(
+    graph: CSRGraph, core: np.ndarray | None = None
+) -> CoreHierarchy:
+    """Construct the HCD forest of ``graph``.
+
+    Vertices are added in descending core order; an edge merges two
+    components once both endpoints are present.  Each time the sweep
+    finishes a core level ``k``, the current connected components become
+    the k-core components; a component becomes a *new* tree node
+    whenever its membership changed since level ``k+1``, with the old
+    node(s) as children.
+    """
+    core = peel_fast(graph) if core is None else np.asarray(core, dtype=np.int64)
+    n = graph.num_vertices
+    if n == 0:
+        return CoreHierarchy(
+            {}, [], core, np.empty(0, dtype=np.int64)
+        )
+    kmax = int(core.max())
+    uf = _UnionFind(n)
+    added = np.zeros(n, dtype=bool)
+    nodes: Dict[int, CoreComponent] = {}
+    # current tree node represented by each union-find root
+    node_of_root: Dict[int, int] = {}
+    leaf_of_vertex = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+
+    order = np.argsort(-core, kind="stable")
+    position = 0
+    for k in range(kmax, -1, -1):
+        # add this shell's vertices and their internal edges
+        while position < n and core[order[position]] == k:
+            v = int(order[position])
+            added[v] = True
+            position += 1
+        shell = np.flatnonzero(core == k)
+        for v in shell:
+            for u in graph.neighbors_of(int(v)):
+                if added[u]:
+                    uf.union(int(v), int(u))
+        # snapshot the components present at this level
+        present = np.flatnonzero(added)
+        roots: Dict[int, List[int]] = {}
+        for v in present:
+            roots.setdefault(uf.find(int(v)), []).append(int(v))
+        new_node_of_root: Dict[int, int] = {}
+        for root, members in roots.items():
+            member_arr = np.asarray(sorted(members), dtype=np.int64)
+            # children: previous-level nodes now absorbed into this root
+            child_ids = sorted(
+                {
+                    node_of_root[r]
+                    for r in node_of_root
+                    if uf.find(r) == root
+                }
+            )
+            if len(child_ids) == 1:
+                child = nodes[child_ids[0]]
+                if child.size == member_arr.size:
+                    # unchanged component: reuse the node at this level
+                    new_node_of_root[root] = child.node_id
+                    continue
+            node = CoreComponent(next_id, k, member_arr)
+            next_id += 1
+            for cid in child_ids:
+                nodes[cid].parent = node.node_id
+                node.children.append(cid)
+            nodes[node.node_id] = node
+            new_node_of_root[root] = node.node_id
+            fresh = member_arr[leaf_of_vertex[member_arr] == -1]
+            leaf_of_vertex[fresh] = node.node_id
+        node_of_root = new_node_of_root
+
+    top_roots = [nid for nid, node in nodes.items() if node.parent is None]
+    return CoreHierarchy(nodes, top_roots, core, leaf_of_vertex)

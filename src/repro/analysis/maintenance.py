@@ -1,0 +1,175 @@
+"""Incremental core maintenance for dynamic graphs.
+
+The paper's Section II-C points to streaming/incremental algorithms
+(Sariyüce et al.) as the alternative to recomputation on evolving
+networks; the case study motivates exactly that workload.  This module
+implements the classic *traversal (subcore) algorithm*:
+
+* inserting an edge can raise core numbers by at most one, and only
+  within the connected region of ``core == r`` vertices around the
+  endpoint(s) with ``r = min(core(u), core(v))``;
+* deleting an edge can lower them by at most one, within the same kind
+  of region.
+
+Both updates run a local peeling over that region instead of a full
+recomputation — the tests verify the result always equals a fresh BZ
+run on the updated graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Set, Tuple
+
+import numpy as np
+
+from repro.cpu.bz import bz_core_numbers
+from repro.graph.csr import CSRGraph
+
+__all__ = ["DynamicCoreMaintainer"]
+
+
+class DynamicCoreMaintainer:
+    """Maintains core numbers under edge insertions and deletions."""
+
+    def __init__(self, graph: CSRGraph | None = None, num_vertices: int = 0):
+        if graph is not None:
+            self._adjacency: List[Set[int]] = [
+                set(map(int, graph.neighbors_of(v)))
+                for v in range(graph.num_vertices)
+            ]
+            self._core = bz_core_numbers(graph).astype(np.int64)
+        else:
+            self._adjacency = [set() for _ in range(num_vertices)]
+            self._core = np.zeros(num_vertices, dtype=np.int64)
+
+    # -- views --------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adjacency)
+
+    def core_numbers(self) -> np.ndarray:
+        """Current core numbers (a defensive copy)."""
+        return self._core.copy()
+
+    def core_of(self, vertex: int) -> int:
+        return int(self._core[vertex])
+
+    def degree(self, vertex: int) -> int:
+        return len(self._adjacency[vertex])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return u < self.num_vertices and v in self._adjacency[u]
+
+    def to_graph(self) -> CSRGraph:
+        """Snapshot the current graph as an immutable CSR graph."""
+        return CSRGraph.from_adjacency(
+            [sorted(nbrs) for nbrs in self._adjacency]
+        )
+
+    # -- vertex growth ---------------------------------------------------------
+
+    def _ensure_vertex(self, vertex: int) -> None:
+        while vertex >= self.num_vertices:
+            self._adjacency.append(set())
+            self._core = np.append(self._core, 0)
+
+    # -- edge insertion ----------------------------------------------------------
+
+    def insert_edge(self, u: int, v: int) -> Tuple[int, ...]:
+        """Insert ``{u, v}``; returns the vertices whose core rose.
+
+        No-op (empty tuple) if the edge already exists or ``u == v``.
+        """
+        if u == v:
+            return ()
+        self._ensure_vertex(max(u, v))
+        if v in self._adjacency[u]:
+            return ()
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+
+        core = self._core
+        r = int(min(core[u], core[v]))
+        roots = [w for w in (u, v) if core[w] == r]
+        candidates = self._same_core_region(roots, r)
+        # candidate degree: support from deeper vertices and from other
+        # candidates (which may yet be promoted together)
+        cd = {
+            w: sum(
+                1 for x in self._adjacency[w]
+                if core[x] > r or x in candidates
+            )
+            for w in candidates
+        }
+        # peel candidates that cannot reach degree r+1
+        queue = deque(w for w in candidates if cd[w] <= r)
+        removed: Set[int] = set()
+        while queue:
+            w = queue.popleft()
+            if w in removed:
+                continue
+            removed.add(w)
+            for x in self._adjacency[w]:
+                if x in candidates and x not in removed:
+                    cd[x] -= 1
+                    if cd[x] <= r:
+                        queue.append(x)
+        promoted = tuple(sorted(candidates - removed))
+        for w in promoted:
+            core[w] = r + 1
+        return promoted
+
+    # -- edge deletion -----------------------------------------------------------
+
+    def remove_edge(self, u: int, v: int) -> Tuple[int, ...]:
+        """Remove ``{u, v}``; returns the vertices whose core fell.
+
+        Raises ``KeyError`` if the edge is absent.
+        """
+        if v not in self._adjacency[u]:
+            raise KeyError(f"edge ({u}, {v}) not present")
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+
+        core = self._core
+        r = int(min(core[u], core[v]))
+        roots = [w for w in (u, v) if core[w] == r]
+        candidates = self._same_core_region(roots, r)
+        # support: neighbors still at core >= r (candidates included --
+        # their possible demotion cascades through the queue below)
+        cd = {
+            w: sum(1 for x in self._adjacency[w] if core[x] >= r)
+            for w in candidates
+        }
+        queue = deque(w for w in candidates if cd[w] < r)
+        demoted: Set[int] = set()
+        while queue:
+            w = queue.popleft()
+            if w in demoted:
+                continue
+            demoted.add(w)
+            core[w] = r - 1
+            for x in self._adjacency[w]:
+                if x in candidates and x not in demoted:
+                    cd[x] -= 1
+                    if cd[x] < r:
+                        queue.append(x)
+        return tuple(sorted(demoted))
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _same_core_region(self, roots: Iterable[int], r: int) -> Set[int]:
+        """Connected region of ``core == r`` vertices containing roots."""
+        core = self._core
+        region: Set[int] = set()
+        stack = [w for w in roots if core[w] == r]
+        region.update(stack)
+        while stack:
+            w = stack.pop()
+            for x in self._adjacency[w]:
+                if core[x] == r and x not in region:
+                    region.add(x)
+                    stack.append(x)
+        return region

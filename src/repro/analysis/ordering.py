@@ -1,0 +1,53 @@
+"""Degeneracy-ordering applications.
+
+The paper motivates k-core decomposition as a lightweight preprocessing
+for heavier mining tasks (clique enumeration, quasi-cliques, community
+search).  These helpers implement the two classic consumers of the
+decomposition output: degeneracy (smallest-last) greedy coloring and
+core-based candidate pruning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fastpath import peel_fast
+from repro.cpu.bz import degeneracy_ordering
+from repro.graph.csr import CSRGraph
+
+__all__ = ["smallest_last_coloring", "prune_for_clique_size"]
+
+
+def smallest_last_coloring(graph: CSRGraph) -> np.ndarray:
+    """Greedy coloring in reverse degeneracy order.
+
+    Uses at most ``degeneracy + 1`` colors (Matula & Beck) — a bound
+    the property tests assert.  Returns a color index per vertex.
+    """
+    n = graph.num_vertices
+    order = degeneracy_ordering(graph)[::-1]  # largest-core first
+    colors = np.full(n, -1, dtype=np.int64)
+    for v in order:
+        v = int(v)
+        neighbor_colors = set(
+            int(c) for c in colors[graph.neighbors_of(v)] if c >= 0
+        )
+        color = 0
+        while color in neighbor_colors:
+            color += 1
+        colors[v] = color
+    return colors
+
+
+def prune_for_clique_size(
+    graph: CSRGraph, clique_size: int, core: np.ndarray | None = None
+) -> np.ndarray:
+    """Vertices that can possibly belong to a clique of ``clique_size``.
+
+    A ``q``-clique lies entirely inside the ``(q-1)``-core, so pruning
+    to core number ``>= q - 1`` is sound — the standard lightweight
+    preprocessing the paper's introduction describes.
+    """
+    if core is None:
+        core = peel_fast(graph)
+    return np.flatnonzero(core >= clique_size - 1)

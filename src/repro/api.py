@@ -1,0 +1,111 @@
+"""Top-level convenience API and the algorithm registry.
+
+``decompose(graph, algorithm=...)`` runs any program in the repository
+by its Table III/IV name.  The registry is also what the benchmark
+harness iterates over, so the set of names here *is* the set of columns
+the paper's tables have.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.core.fastpath import fast_decompose
+from repro.core.host import gpu_peel
+from repro.core.multigpu import multi_gpu_peel
+from repro.core.variants import variant_names
+from repro.cpu.bz import bz_decompose
+from repro.cpu.mpm import mpm_decompose
+from repro.cpu.naive import networkx_style_decompose
+from repro.cpu.park import park_decompose
+from repro.cpu.pkc import pkc_decompose
+from repro.errors import UnknownAlgorithmError
+from repro.graph.csr import CSRGraph
+from repro.result import DecompositionResult
+from repro.systems.gswitch import gswitch_decompose
+from repro.systems.gunrock import gunrock_decompose
+from repro.systems.medusa import medusa_decompose
+from repro.systems.vetga import vetga_decompose
+
+__all__ = ["ALGORITHMS", "algorithm_names", "decompose"]
+
+Runner = Callable[..., DecompositionResult]
+
+
+def _gpu_variant_runner(variant: str) -> Runner:
+    def run(graph: CSRGraph, **kwargs) -> DecompositionResult:
+        return gpu_peel(graph, variant=variant, **kwargs)
+
+    return run
+
+
+def _build_registry() -> Dict[str, Runner]:
+    registry: Dict[str, Runner] = {
+        # the paper's own program and its fast native path
+        "gpu-ours": _gpu_variant_runner("ours"),
+        "fast": lambda graph, **kw: fast_decompose(graph),
+        # CPU programs (Table IV)
+        "networkx": networkx_style_decompose,
+        "bz": bz_decompose,
+        "park-serial": lambda g, **kw: park_decompose(g, parallel=False, **kw),
+        "park": lambda g, **kw: park_decompose(g, parallel=True, **kw),
+        "pkc-o-serial": lambda g, **kw: pkc_decompose(
+            g, parallel=False, compact=False, **kw
+        ),
+        "pkc-o": lambda g, **kw: pkc_decompose(
+            g, parallel=True, compact=False, **kw
+        ),
+        "mpm": lambda g, **kw: mpm_decompose(g, parallel=True, **kw),
+        "mpm-serial": lambda g, **kw: mpm_decompose(g, parallel=False, **kw),
+        "pkc-serial": lambda g, **kw: pkc_decompose(
+            g, parallel=False, compact=True, **kw
+        ),
+        "pkc": lambda g, **kw: pkc_decompose(g, parallel=True, compact=True, **kw),
+        # GPU systems (Table III)
+        "vetga": vetga_decompose,
+        "medusa-mpm": lambda g, **kw: medusa_decompose(g, program="mpm", **kw),
+        "medusa-peel": lambda g, **kw: medusa_decompose(g, program="peel", **kw),
+        "gunrock": gunrock_decompose,
+        "gswitch": gswitch_decompose,
+        # the Section VII future-work extension
+        "gpu-multi2": lambda g, **kw: multi_gpu_peel(g, num_devices=2, **kw),
+        "gpu-multi4": lambda g, **kw: multi_gpu_peel(g, num_devices=4, **kw),
+    }
+    # the ablation variants (Table II): gpu-ours, gpu-sm, gpu-vp, ...
+    for name in variant_names():
+        registry.setdefault(f"gpu-{name}", _gpu_variant_runner(name))
+    return registry
+
+
+#: name -> runner for every program in the repository
+ALGORITHMS: Dict[str, Runner] = _build_registry()
+
+
+def algorithm_names() -> Tuple[str, ...]:
+    """All registered program names."""
+    return tuple(ALGORITHMS)
+
+
+def decompose(
+    graph: CSRGraph, algorithm: str = "gpu-ours", **kwargs
+) -> DecompositionResult:
+    """Run the named program on ``graph``.
+
+    Args:
+        graph: input graph in CSR form.
+        algorithm: a registry name, e.g. ``"gpu-ours"``, ``"bz"``,
+            ``"pkc"``, ``"gswitch"``; see :func:`algorithm_names`.
+        **kwargs: forwarded to the program (e.g. ``time_budget_ms`` for
+            the GPU systems, ``cost`` for the CPU programs).
+
+    Returns:
+        The program's :class:`~repro.result.DecompositionResult`.
+    """
+    try:
+        runner = ALGORITHMS[algorithm]
+    except KeyError:
+        raise UnknownAlgorithmError(
+            f"unknown algorithm {algorithm!r}; known: "
+            f"{', '.join(sorted(ALGORITHMS))}"
+        ) from None
+    return runner(graph, **kwargs)

@@ -1,0 +1,14 @@
+"""Benchmark harness: runners, outcome classification, table rendering."""
+
+from repro.bench.runner import SIMULATED_HOUR_MS, BenchCache, Outcome, run_program
+from repro.bench.tables import render_table, results_dir, write_table
+
+__all__ = [
+    "SIMULATED_HOUR_MS",
+    "BenchCache",
+    "Outcome",
+    "run_program",
+    "render_table",
+    "results_dir",
+    "write_table",
+]

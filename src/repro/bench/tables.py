@@ -1,0 +1,68 @@
+"""Paper-style table rendering.
+
+Each bench regenerates one table of the paper; these helpers format
+the rows identically across benches and persist them under
+``benchmarks/results/`` so the tee'd bench output and the saved
+artefacts agree.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "write_table", "results_dir"]
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[str]],
+    highlight_min: bool = False,
+) -> str:
+    """Fixed-width table with the dataset name as the first column.
+
+    With ``highlight_min`` the smallest parseable numeric cell of each
+    row gets the paper's asterisk.
+    """
+    rows = [list(map(str, row)) for row in rows]
+    if highlight_min:
+        for row in rows:
+            best_idx, best_val = None, None
+            for i, cell in enumerate(row[1:], start=1):
+                try:
+                    value = float(cell.split("±")[0])
+                except ValueError:
+                    continue
+                if best_val is None or value < best_val:
+                    best_idx, best_val = i, value
+            if best_idx is not None:
+                row[best_idx] += "*"
+    widths = [len(c) for c in columns]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        first = cells[0].ljust(widths[0])
+        rest = "  ".join(c.rjust(w) for c, w in zip(cells[1:], widths[1:]))
+        return f"{first}  {rest}".rstrip()
+
+    lines = [title, "=" * len(title), fmt(columns),
+             fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def results_dir() -> Path:
+    """The directory bench artefacts are written to."""
+    path = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def write_table(name: str, text: str) -> Path:
+    """Persist a rendered table and echo it to stdout."""
+    path = results_dir() / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+    return path

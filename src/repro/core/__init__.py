@@ -1,0 +1,22 @@
+"""The paper's contribution: GPU peeling kernels and their variants."""
+
+from repro.core.decomposer import KCoreDecomposer
+from repro.core.fastpath import fast_decompose, peel_fast
+from repro.core.host import GpuPeelOptions, gpu_peel
+from repro.core.multigpu import MultiGpuOptions, multi_gpu_peel, partition_ranges
+from repro.core.variants import VARIANTS, VariantConfig, get_variant, variant_names
+
+__all__ = [
+    "KCoreDecomposer",
+    "MultiGpuOptions",
+    "multi_gpu_peel",
+    "partition_ranges",
+    "fast_decompose",
+    "peel_fast",
+    "GpuPeelOptions",
+    "gpu_peel",
+    "VARIANTS",
+    "VariantConfig",
+    "get_variant",
+    "variant_names",
+]

@@ -1,0 +1,130 @@
+"""Per-block vertex buffers with the paper's addressing schemes.
+
+Each thread block ``i`` owns a slice ``buf[i]`` of one big device
+allocation (Fig. 4).  A :class:`BlockBufferView` is a per-warp handle
+that translates logical buffer positions into physical locations under
+the active variant:
+
+* plain — position ``p`` lives at ``buf[i][p]``; ``p >= capacity``
+  raises :class:`~repro.errors.BufferOverflowError` (the paper's assert);
+* ring — positions wrap modulo the capacity (Section IV-C); overflow
+  now means the tail catching up with the unprocessed head;
+* SM — the first ``capacity_B`` positions *after* the scan phase's
+  ``e_init`` entries live in the block's shared-memory buffer ``B``
+  (Fig. 7), and later positions fall back to global memory shifted by
+  ``capacity_B``.
+
+Position *reservation* (who gets which slot) stays in the kernels —
+that is exactly what the compaction variants change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BufferOverflowError
+from repro.gpusim.context import WarpContext
+from repro.gpusim.memory import DeviceArray
+
+__all__ = ["BlockBufferView"]
+
+
+class BlockBufferView:
+    """A warp's view of its block's vertex buffer (see module docs)."""
+
+    def __init__(
+        self,
+        ctx: WarpContext,
+        buf: DeviceArray,
+        capacity: int,
+        ring: bool = False,
+        use_shared: bool = False,
+        shared_capacity: int = 0,
+    ) -> None:
+        self._ctx = ctx
+        self._buf = buf
+        self._base = ctx.block_idx * capacity
+        self._capacity = capacity
+        self._ring = ring
+        self._use_shared = use_shared
+        self._shared_capacity = shared_capacity if use_shared else 0
+        if use_shared:
+            self._shared = ctx.smem_array("B", shared_capacity)
+        else:
+            self._shared = None
+
+    # -- position translation ------------------------------------------------
+
+    def _physical(self, global_positions: np.ndarray) -> np.ndarray:
+        if self._ring:
+            return self._base + global_positions % self._capacity
+        if global_positions.size and int(global_positions.max()) >= self._capacity:
+            raise BufferOverflowError(self._ctx.block_idx, self._capacity)
+        return self._base + global_positions
+
+    # -- access ----------------------------------------------------------------
+
+    def read(self, position: int) -> int:
+        """Fetch the vertex at one logical position (Alg. 3 Line 12)."""
+        return int(self.read_batch(np.asarray([position], dtype=np.int64))[0])
+
+    def read_batch(self, positions: np.ndarray) -> np.ndarray:
+        """Fetch several logical positions, preserving order."""
+        ctx = self._ctx
+        positions = np.asarray(positions, dtype=np.int64)
+        out = np.empty(positions.size, dtype=np.int64)
+        if not self._use_shared:
+            out[:] = ctx.gload(self._buf, self._physical(positions))
+            return out
+        e_init = ctx.smem_get("e_init")
+        ctx.charge(4)  # Fig. 7 position translation: two compares + branch
+        in_shared = (positions >= e_init) & (
+            positions < e_init + self._shared_capacity
+        )
+        if np.any(in_shared):
+            out[in_shared] = ctx.sload(
+                self._shared, positions[in_shared] - e_init
+            )
+        if np.any(~in_shared):
+            gpos = positions[~in_shared].copy()
+            gpos[gpos >= e_init] -= self._shared_capacity
+            out[~in_shared] = ctx.gload(self._buf, self._physical(gpos))
+        return out
+
+    def write(self, locations: np.ndarray, vertices: np.ndarray) -> None:
+        """Append vertices at pre-reserved logical locations.
+
+        Reservation (advancing ``e``) is the caller's job; overflow is
+        checked here against the variant's effective capacity.
+        """
+        ctx = self._ctx
+        locations = np.asarray(locations, dtype=np.int64)
+        vertices = np.asarray(vertices, dtype=np.int64)
+        self._check_overflow(locations)
+        if not self._use_shared:
+            ctx.gstore(self._buf, self._physical(locations), vertices)
+            return
+        e_init = ctx.smem_get("e_init")
+        ctx.charge(4)  # Fig. 7 position translation: two compares + branch
+        in_shared = (locations >= e_init) & (
+            locations < e_init + self._shared_capacity
+        )
+        if np.any(in_shared):
+            ctx.sstore(self._shared, locations[in_shared] - e_init,
+                       vertices[in_shared])
+        if np.any(~in_shared):
+            gpos = locations[~in_shared].copy()
+            gpos[gpos >= e_init] -= self._shared_capacity
+            ctx.gstore(self._buf, self._physical(gpos), vertices[~in_shared])
+
+    def _check_overflow(self, locations: np.ndarray) -> None:
+        if locations.size == 0:
+            return
+        effective = self._capacity + self._shared_capacity
+        if self._ring:
+            # The tail may wrap, but must not lap the unprocessed head.
+            head = self._ctx.block.scalars.get("s", 0)
+            if int(locations.max()) - head >= effective:
+                raise BufferOverflowError(self._ctx.block_idx, effective)
+        elif int(locations.max()) >= effective:
+            raise BufferOverflowError(self._ctx.block_idx, effective)

@@ -1,0 +1,70 @@
+"""High-level public API for k-core decomposition.
+
+:class:`KCoreDecomposer` is the front door most users want: pick an
+execution mode once, then decompose graphs.
+
+* ``mode="fast"`` (default) — the vectorised native path; answers in
+  real milliseconds, no cost model.
+* ``mode="simulate"`` — runs the paper's CUDA kernels on the SIMT
+  simulator, producing simulated time/memory metrics and honouring the
+  chosen ablation variant.
+"""
+
+from __future__ import annotations
+
+from repro.core.fastpath import fast_decompose
+from repro.core.host import GpuPeelOptions, gpu_peel
+from repro.core.variants import VariantConfig
+from repro.errors import ReproError
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.spec import DeviceSpec
+from repro.graph.csr import CSRGraph
+from repro.result import DecompositionResult
+
+__all__ = ["KCoreDecomposer"]
+
+_MODES = ("fast", "simulate")
+
+
+class KCoreDecomposer:
+    """Reusable decomposition front end; see the module docstring.
+
+    Example:
+        >>> from repro.graph.examples import fig1_graph
+        >>> graph, expected = fig1_graph()
+        >>> result = KCoreDecomposer().decompose(graph)
+        >>> int(result.core[0])
+        3
+    """
+
+    def __init__(
+        self,
+        mode: str = "fast",
+        variant: str | VariantConfig = "ours",
+        spec: DeviceSpec | None = None,
+        cost_model: CostModel | None = None,
+        options: GpuPeelOptions | None = None,
+    ) -> None:
+        if mode not in _MODES:
+            raise ReproError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.mode = mode
+        self.variant = variant
+        self.spec = spec
+        self.cost_model = cost_model
+        self.options = options
+
+    def decompose(self, graph: CSRGraph) -> DecompositionResult:
+        """Compute the core number of every vertex of ``graph``."""
+        if self.mode == "fast":
+            return fast_decompose(graph)
+        return gpu_peel(
+            graph,
+            variant=self.variant,
+            spec=self.spec,
+            cost_model=self.cost_model,
+            options=self.options,
+        )
+
+    def core_numbers(self, graph: CSRGraph):
+        """Convenience: just the core-number array."""
+        return self.decompose(graph).core

@@ -1,0 +1,69 @@
+"""Vectorised "native" execution of the two-phase peeling algorithm.
+
+This is the same scan/loop logic as the simulated kernels — per round
+``k``, collect all degree-``k`` vertices, then BFS-propagate the
+k-shell with batched degree decrements — expressed with whole-array
+numpy operations so large graphs decompose in real milliseconds.  The
+simulator path answers "what would the GPU do, cycle by cycle"; this
+path answers "what are the core numbers" as fast as Python can.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.result import DecompositionResult
+
+__all__ = ["peel_fast", "fast_decompose"]
+
+
+def peel_fast(graph: CSRGraph) -> np.ndarray:
+    """Core numbers via vectorised round-by-round peeling."""
+    n = graph.num_vertices
+    deg = graph.degrees.astype(np.int64).copy()
+    offsets, neighbors = graph.offsets, graph.neighbors
+    core = np.zeros(n, dtype=np.int64)
+    alive = np.ones(n, dtype=bool)
+    remaining = n
+    k = 0
+    while remaining > 0:
+        # scan phase: all still-alive vertices whose degree is exactly k
+        frontier = np.flatnonzero(alive & (deg <= k))
+        while frontier.size:
+            core[frontier] = k
+            alive[frontier] = False
+            remaining -= frontier.size
+            # gather the concatenated adjacency lists of the frontier:
+            # positions are starts[i] .. starts[i] + lengths[i] per vertex
+            starts = offsets[frontier]
+            lengths = offsets[frontier + 1] - starts
+            total = int(lengths.sum())
+            if total == 0:
+                frontier = np.empty(0, dtype=np.int64)
+                continue
+            local = np.arange(total) - np.repeat(
+                np.cumsum(lengths) - lengths, lengths
+            )
+            touched = neighbors[np.repeat(starts, lengths) + local]
+            # decrement each alive neighbor once per incident removal
+            unique, counts = np.unique(touched, return_counts=True)
+            live = alive[unique]
+            affected = unique[live]
+            deg[affected] -= counts[live]
+            # neighbors whose degree dropped to k or below join the shell
+            frontier = affected[deg[affected] <= k]
+        k += 1
+    return core
+
+
+def fast_decompose(graph: CSRGraph) -> DecompositionResult:
+    """:func:`peel_fast` wrapped as a :class:`DecompositionResult`."""
+    core = peel_fast(graph)
+    kmax = int(core.max()) if core.size else 0
+    return DecompositionResult(
+        core=core,
+        algorithm="gpu-fast",
+        rounds=kmax + 1,
+        stats={"mode": "fast"},
+    )

@@ -1,0 +1,161 @@
+"""The host program (Algorithm 1 of the paper).
+
+Loads the CSR graph into simulated device memory, allocates the
+per-block buffers, and alternates ``scan(k)`` / ``loop(k)`` kernel
+launches until every vertex is removed.  The mutable device ``deg``
+array converges to the core numbers and is read back at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.loop_kernel import loop_kernel
+from repro.core.scan_kernel import scan_kernel
+from repro.core.variants import VariantConfig, get_variant
+from repro.errors import ReproError
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import Device
+from repro.gpusim.spec import DeviceSpec
+from repro.graph.csr import CSRGraph
+from repro.result import DecompositionResult
+
+__all__ = ["gpu_peel", "GpuPeelOptions"]
+
+
+@dataclass(frozen=True)
+class GpuPeelOptions:
+    """Tunables of a simulated-GPU peeling run."""
+
+    #: kernel variant name or config (Table II column)
+    variant: str | VariantConfig = "ours"
+    #: per-block buffer capacity in vertex IDs; ``None`` = the device
+    #: spec's default (the paper fixes 1M IDs per block)
+    buffer_capacity: int | None = None
+    #: simulated-time force-termination budget (Tables III/IV: "> 1hr")
+    time_budget_ms: float | None = None
+    #: probability of an extra scheduling point inside the read ->
+    #: atomicSub window, to fuzz cross-block races (tests only)
+    preempt_prob: float = 0.0
+    #: RNG seed for the fuzzing schedule
+    seed: int = 0
+
+
+def gpu_peel(
+    graph: CSRGraph,
+    variant: str | VariantConfig = "ours",
+    device: Device | None = None,
+    spec: DeviceSpec | None = None,
+    cost_model: CostModel | None = None,
+    options: GpuPeelOptions | None = None,
+) -> DecompositionResult:
+    """Run the paper's GPU peeling algorithm on the simulator.
+
+    Args:
+        graph: input graph in CSR form.
+        variant: ablation variant (``"ours"``, ``"sm"``, ``"vp"``,
+            ``"bc"``, ``"ec"``, combinations like ``"bc+sm"``), or a
+            :class:`VariantConfig`.
+        device: a pre-built device (so callers can share a memory pool
+            or inspect metrics); otherwise one is created from ``spec``
+            and ``cost_model``.
+        options: further tunables; ``options.variant`` is overridden by
+            the explicit ``variant`` argument when both are given.
+
+    Returns:
+        A :class:`DecompositionResult` whose ``simulated_ms`` /
+        ``peak_memory_bytes`` come from the device cost model, and whose
+        ``stats`` include per-phase cycle splits for the ablation.
+    """
+    opts = options or GpuPeelOptions()
+    chosen = variant
+    if variant == "ours" and opts.variant != "ours":
+        chosen = opts.variant  # explicit argument wins over options
+    cfg = chosen if isinstance(chosen, VariantConfig) else get_variant(chosen)
+
+    if device is None:
+        device = Device(
+            spec=spec,
+            cost_model=cost_model,
+            time_budget_ms=opts.time_budget_ms,
+            preempt_prob=opts.preempt_prob,
+            seed=opts.seed,
+        )
+    spec = device.spec
+    if cfg.prefetch and spec.warps_per_block < 2:
+        raise ReproError(
+            "the VP variant needs at least 2 warps per block "
+            f"(block_dim >= {2 * spec.warp_size})"
+        )
+
+    n = graph.num_vertices
+    if n == 0:
+        return DecompositionResult(
+            core=np.empty(0, dtype=np.int64),
+            algorithm=f"gpu-{cfg.name}",
+        )
+
+    grid_dim = spec.default_grid_dim
+    capacity = opts.buffer_capacity or spec.block_buffer_capacity
+    shared_capacity = spec.shared_buffer_capacity if cfg.shared_buffer else 0
+
+    # Algorithm 1 Line 1: load G into device memory
+    offsets_d = device.malloc("offsets", graph.offsets)
+    neighbors_d = device.malloc("neighbors", graph.neighbors)
+    deg_d = device.malloc("deg", graph.degrees)
+    # Line 4: allocate the per-block buffers (Fig. 4)
+    buf_d = device.malloc("buf", grid_dim * capacity)
+    tails_d = device.malloc("buf_tails", grid_dim)
+    count_d = device.malloc("gpu_count", 1)  # Lines 2-3
+    if cfg.compaction != "none":
+        # the compaction variants stage vid/p/a arrays per block; this
+        # mirrors the constant extra footprint BC/EC show in Table V
+        device.malloc(
+            "compaction_scratch", 3 * grid_dim * spec.default_block_dim
+        )
+
+    scan_cycles = 0.0
+    loop_cycles = 0.0
+    count = 0
+    k = 0
+    max_rounds = graph.max_degree + 2  # k_max <= max degree
+    while count < n:  # Line 5
+        if k > max_rounds:
+            raise ReproError(
+                f"peeling made no progress after {k} rounds "
+                f"({count}/{n} vertices removed)"
+            )
+        stats = device.launch(
+            scan_kernel, args=(k, deg_d, buf_d, tails_d, n, capacity, cfg)
+        )  # Line 6
+        scan_cycles += stats.cycles
+        stats = device.launch(
+            loop_kernel,
+            args=(
+                k, offsets_d, neighbors_d, deg_d, buf_d, tails_d,
+                count_d, capacity, shared_capacity, cfg,
+            ),
+        )  # Line 7
+        loop_cycles += stats.cycles
+        count = int(device.read_back(count_d)[0])  # Line 8
+        k += 1  # Line 9
+
+    core = device.read_back(deg_d)  # Line 10
+    return DecompositionResult(
+        core=core,
+        algorithm=f"gpu-{cfg.name}",
+        simulated_ms=device.elapsed_ms,
+        peak_memory_bytes=device.peak_memory_bytes,
+        rounds=k,
+        stats={
+            "kernel_launches": device.kernel_launches,
+            "scan_cycles": scan_cycles,
+            "loop_cycles": loop_cycles,
+            "buffer_capacity": capacity,
+            "grid_dim": grid_dim,
+            "block_dim": spec.default_block_dim,
+            "variant": cfg.name,
+        },
+    )

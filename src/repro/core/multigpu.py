@@ -1,0 +1,221 @@
+"""Multi-GPU peeling — the paper's future-work sketch (Section VII).
+
+"We can partition a graph among worker GPUs running our kernels, but
+degree updates of border vertices would be aggregated afterwards, which
+can be computed at a master GPU.  Moreover, the updates may cause new
+border vertices to be in k-shell, so more than one round may be needed
+to compute a k-shell."
+
+The implementation follows that sketch exactly:
+
+* vertices are partitioned into contiguous, edge-balanced ranges; each
+  worker device holds its slice of the CSR arrays plus a full-length
+  replica of the degree array;
+* per peel round ``k``, the *master* identifies the current k-shell
+  frontier from its aggregated degree array, seeds each owner's block
+  buffers with its members, and the workers run the unmodified ``loop``
+  kernel over their partition (remote neighbors are decremented in the
+  local replica; appends are disabled — crossings surface at the next
+  aggregation instead);
+* after each sub-round, the master aggregates the replicas' degree
+  deltas (the PCIe transfer and reduction are costed), clamps vertices
+  over-decremented below ``k`` back to ``k`` — the cross-device
+  analogue of the Fig. 6 restore trick — and broadcasts;
+* sub-rounds repeat while the aggregation exposes new k-shell members,
+  exactly as the sketch warns ("more than one round may be needed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.loop_kernel import loop_kernel
+from repro.core.variants import VariantConfig, get_variant
+from repro.errors import ReproError
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import Device
+from repro.gpusim.spec import DeviceSpec
+from repro.graph.csr import CSRGraph
+from repro.result import DecompositionResult
+
+__all__ = ["multi_gpu_peel", "partition_ranges", "MultiGpuOptions"]
+
+
+@dataclass(frozen=True)
+class MultiGpuOptions:
+    """Tunables of the multi-GPU run."""
+
+    #: PCIe-style transfer cost for the aggregation step, cycles per
+    #: transferred degree word (per worker, each direction)
+    transfer_cycles_per_word: float = 0.5
+    #: master-side reduction cost, cycles per degree word per worker
+    reduce_cycles_per_word: float = 0.25
+
+
+def partition_ranges(graph: CSRGraph, parts: int) -> list[tuple[int, int]]:
+    """Contiguous vertex ranges with roughly equal edge counts."""
+    if parts < 1:
+        raise ReproError("need at least one partition")
+    n = graph.num_vertices
+    total = graph.neighbors.size
+    if n == 0:
+        return [(0, 0)] * parts
+    targets = [round(total * (p + 1) / parts) for p in range(parts)]
+    bounds = np.searchsorted(graph.offsets[1:], targets, side="left") + 1
+    ranges = []
+    lo = 0
+    for p in range(parts):
+        hi = int(min(n, max(lo, bounds[p]))) if p < parts - 1 else n
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def multi_gpu_peel(
+    graph: CSRGraph,
+    num_devices: int = 2,
+    variant: str | VariantConfig = "ours",
+    spec: DeviceSpec | None = None,
+    cost_model: CostModel | None = None,
+    options: MultiGpuOptions | None = None,
+) -> DecompositionResult:
+    """Decompose ``graph`` across ``num_devices`` simulated GPUs.
+
+    Returns a :class:`DecompositionResult` whose ``simulated_ms`` sums
+    the parallel sub-round time (the *slowest* worker each sub-round)
+    plus the aggregation steps, and whose ``peak_memory_bytes`` is the
+    busiest single device — the quantity that decides whether a graph
+    too big for one GPU fits a partitioned cluster.
+    """
+    cfg = variant if isinstance(variant, VariantConfig) else get_variant(variant)
+    spec = spec or DeviceSpec()
+    opts = options or MultiGpuOptions()
+    n = graph.num_vertices
+    if n == 0:
+        return DecompositionResult(
+            core=np.empty(0, dtype=np.int64),
+            algorithm=f"gpu-multi{num_devices}-{cfg.name}",
+        )
+
+    ranges = partition_ranges(graph, num_devices)
+    devices = [
+        Device(spec=spec, cost_model=cost_model) for _ in range(num_devices)
+    ]
+    workers = []
+    for d, (lo, hi) in enumerate(ranges):
+        device = devices[d]
+        # the worker's CSR slice: offsets re-based to its first vertex
+        local_offsets = (
+            graph.offsets[lo : hi + 1] - graph.offsets[lo]
+        )
+        local_neighbors = graph.neighbors[
+            graph.offsets[lo] : graph.offsets[hi]
+        ]
+        workers.append({
+            "range": (lo, hi),
+            "device": device,
+            "offsets": device.malloc("offsets", local_offsets),
+            "neighbors": device.malloc("neighbors", local_neighbors),
+            "deg": device.malloc("deg", graph.degrees),  # full replica
+            "buf": device.malloc(
+                "buf", spec.default_grid_dim * spec.block_buffer_capacity
+            ),
+            "tails": device.malloc("buf_tails", spec.default_grid_dim),
+            "count": device.malloc("gpu_count", 1),
+            "collected": 0,
+        })
+
+    capacity = spec.block_buffer_capacity
+    shared_capacity = spec.shared_buffer_capacity if cfg.shared_buffer else 0
+    grid_dim = spec.default_grid_dim
+    cost = devices[0].cost_model
+    coordinator_cycles = 0.0
+    alive = np.ones(n, dtype=bool)
+    master_deg = graph.degrees.astype(np.int64).copy()
+    removed = 0
+    k = 0
+    sub_rounds = 0
+    max_rounds = graph.max_degree + 2
+    while removed < n:
+        if k > max_rounds:
+            raise ReproError(
+                f"multi-GPU peeling stalled at round {k} "
+                f"({removed}/{n} removed)"
+            )
+        while True:  # sub-rounds of round k
+            # master: the current k-shell frontier (clamping guarantees
+            # alive degrees never sit below k)
+            frontier = np.flatnonzero(alive & (master_deg <= k))
+            if frontier.size == 0:
+                break
+            sub_rounds += 1
+            alive[frontier] = False
+            removed += frontier.size
+            coordinator_cycles += n * 1.0  # master frontier filter
+            pre = master_deg.copy()
+            worker_ms = []
+            for w in workers:
+                device = w["device"]
+                lo, hi = w["range"]
+                mine = frontier[(frontier >= lo) & (frontier < hi)]
+                before_ms = device.elapsed_ms
+                # seed the owner's block buffers round-robin (the role
+                # the scan kernel plays on a single device)
+                w["tails"].data[:] = 0
+                for b in range(grid_dim):
+                    share = mine[b::grid_dim]
+                    w["buf"].data[
+                        b * capacity : b * capacity + share.size
+                    ] = share
+                    w["tails"].data[b] = share.size
+                coordinator_cycles += (
+                    mine.size * opts.transfer_cycles_per_word
+                )
+                if mine.size:
+                    # own_range (lo, lo): offsets index from lo, but the
+                    # ownership window is empty, disabling appends
+                    device.launch(
+                        loop_kernel,
+                        args=(k, w["offsets"], w["neighbors"], w["deg"],
+                              w["buf"], w["tails"], w["count"], capacity,
+                              shared_capacity, cfg, (lo, lo)),
+                    )
+                worker_ms.append(device.elapsed_ms - before_ms)
+            # ---- master aggregation of border-vertex degree updates ----
+            deltas = np.stack([w["deg"].data - pre for w in workers])
+            merged = pre + deltas.sum(axis=0)
+            # cross-device restore: an alive vertex driven below k by
+            # concurrent remote decrements belongs to the k-shell
+            merged[alive] = np.maximum(merged[alive], k)
+            merged[frontier] = k  # collected this sub-round: core = k
+            master_deg = merged
+            for w in workers:
+                w["deg"].data[:] = merged
+            words = n * (num_devices * 2)  # gather + broadcast
+            coordinator_cycles += (
+                words * opts.transfer_cycles_per_word
+                + n * num_devices * opts.reduce_cycles_per_word
+            )
+            # parallel workers: the sub-round costs the slowest one
+            if worker_ms:
+                coordinator_cycles += max(worker_ms) * 1e6 * cost.clock_ghz
+        k += 1
+
+    core = master_deg
+    cost = devices[0].cost_model
+    total_ms = cost.cycles_to_ms(coordinator_cycles)
+    return DecompositionResult(
+        core=core,
+        algorithm=f"gpu-multi{num_devices}-{cfg.name}",
+        simulated_ms=total_ms,
+        peak_memory_bytes=max(d.peak_memory_bytes for d in devices),
+        rounds=k,
+        stats={
+            "num_devices": num_devices,
+            "sub_rounds": sub_rounds,
+            "partition_ranges": ranges,
+            "per_device_ms": [d.elapsed_ms for d in devices],
+        },
+    )

@@ -1,0 +1,159 @@
+"""The scan-phase kernel (Algorithm 2 of the paper).
+
+In peel round ``k``, the grid's threads stride over the vertex array
+and collect every vertex whose current degree equals ``k`` into their
+block's buffer ``buf[i]``.  The buffer tail ``e`` lives in the block's
+shared memory (Fig. 4) and is advanced with shared-memory atomics; at
+kernel end, Thread 0 of each block backs ``e`` up to global memory for
+the loop kernel.
+
+Three append schemes mirror the ablation variants:
+
+* ``none`` (Ours) — each hitting lane does its own ``atomicAdd(e, 1)``;
+* ``ballot`` (BC) — warp-level ballot compaction, one atomic per warp;
+* ``block`` (EC) — the four-stage intra-block compaction of Fig. 9,
+  one atomic per block per trip, at the price of three extra
+  ``__syncthreads`` per trip and Warp-0-only stages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.buffers import BlockBufferView
+from repro.core.compaction import (
+    block_scan_offsets,
+    warp_compact_ballot,
+    warp_compact_hillis_steele,
+)
+from repro.core.variants import VariantConfig
+from repro.gpusim.context import WarpContext
+from repro.gpusim.memory import DeviceArray
+
+__all__ = ["scan_kernel"]
+
+
+def scan_kernel(
+    ctx: WarpContext,
+    k: int,
+    deg: DeviceArray,
+    buf: DeviceArray,
+    tails: DeviceArray,
+    num_vertices: int,
+    capacity: int,
+    cfg: VariantConfig,
+    vertex_lo: int = 0,
+):
+    """Kernel ``scan(k)``: collect initial k-shell vertices per block.
+
+    ``vertex_lo``/``num_vertices`` bound the scanned ID range
+    ``[vertex_lo, num_vertices)`` — the full graph for single-GPU runs,
+    a partition for the multi-GPU extension.
+    """
+    if ctx.warp_id == 0:
+        ctx.smem_set("e", 0)  # Line 1 (Thread 0 of the block)
+    yield ctx.BARRIER  # Line 2: __syncthreads
+
+    view = BlockBufferView(ctx, buf, capacity, ring=cfg.ring_buffer)
+    stride = ctx.num_threads
+    base = vertex_lo + ctx.global_warp_id * ctx.warp_size
+
+    if cfg.compaction == "block":
+        yield from _scan_block_compaction(
+            ctx, k, deg, view, num_vertices, stride, base
+        )
+    else:
+        yield from _scan_strided(ctx, k, deg, view, num_vertices, stride, base, cfg)
+
+    yield ctx.BARRIER
+    if ctx.warp_id == 0:
+        # back up e to buf[i].e in global memory for the loop kernel
+        ctx.gstore(tails, ctx.block_idx, ctx.smem_get("e"))
+
+
+def _hit_flags(
+    ctx: WarpContext, k: int, deg: DeviceArray, first_vertex: int, num_vertices: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """One trip of Lines 3-6: which of this warp's 32 vertices have
+    degree exactly ``k``.  Returns ``(lane_flags, hit_vertices)``."""
+    v = first_vertex + ctx.lanes
+    mask = v < num_vertices  # Line 5
+    flags = np.zeros(ctx.warp_size, dtype=np.int64)
+    ctx.charge(4)  # loop counter, index arithmetic, bounds check, branch
+    if np.any(mask):
+        degs = ctx.gload(deg, v[mask], dependent=False)  # coalesced read
+        hit_lanes = ctx.lanes[mask][degs == k]  # Line 6
+        flags[hit_lanes] = 1
+        ctx.charge(1)
+    return flags, (first_vertex + np.flatnonzero(flags)).astype(np.int64)
+
+
+def _scan_strided(
+    ctx: WarpContext,
+    k: int,
+    deg: DeviceArray,
+    view: BlockBufferView,
+    num_vertices: int,
+    stride: int,
+    base: int,
+    cfg: VariantConfig,
+):
+    """Lines 3-9 with per-lane atomic appends (Ours) or BC compaction."""
+    for s in range(base, num_vertices, stride):
+        flags, hits = _hit_flags(ctx, k, deg, s, num_vertices)
+        if cfg.compaction == "none":
+            if hits.size:
+                # Line 7: every hitting lane runs atomicAdd(e, 1); the
+                # hardware serialises them and each lane gets its slot.
+                pos = ctx.smem_atomic_add("e", hits.size, lanes=int(hits.size))
+                view.write(pos + np.arange(hits.size), hits)  # Line 9
+        else:
+            # Warp-level ballot compaction (Fig. 8c).  The scan runs
+            # unconditionally every trip — straight-line SIMT code has
+            # no early-out when nothing appends, which is exactly the
+            # instruction overhead the paper's ablation measures.
+            offsets, total = warp_compact_ballot(ctx, flags)
+            if total:
+                pos = ctx.smem_atomic_add("e", total, lanes=1)
+                pos = ctx.shfl_broadcast(pos)
+                ctx.charge(1)  # per-lane write-location add
+                view.write(pos + offsets[flags == 1], hits)
+        yield ctx.STEP
+
+
+def _scan_block_compaction(
+    ctx: WarpContext,
+    k: int,
+    deg: DeviceArray,
+    view: BlockBufferView,
+    num_vertices: int,
+    stride: int,
+    base: int,
+):
+    """Lines 3-9 with the four-stage intra-block compaction (Fig. 9).
+
+    Every warp must make the same number of trips so the per-trip
+    barriers line up; trailing trips may simply contribute zero hits.
+    """
+    span = num_vertices - (base - ctx.global_warp_id * ctx.warp_size)
+    trips = max(1, -(-span // stride))
+    counts = ctx.smem_array("warp_counts", ctx.warps_per_block)
+    woffs = ctx.smem_array("warp_offsets", ctx.warps_per_block)
+    warp_index = np.arange(ctx.warps_per_block)
+    for t in range(trips):
+        flags, hits = _hit_flags(ctx, k, deg, t * stride + base, num_vertices)
+        # Stage 1: warp-local offsets via Hillis-Steele (Fig. 9 step 1)
+        offsets, total = warp_compact_hillis_steele(ctx, flags)
+        ctx.sstore(counts, ctx.warp_id, total)
+        yield ctx.BARRIER
+        # Stages 2-3: Warp 0 scans the 32 warp sums and reserves slots
+        if ctx.warp_id == 0:
+            exclusive, block_total = block_scan_offsets(ctx)
+            base_e = ctx.smem_atomic_add("e", block_total, lanes=1)
+            ctx.sstore(woffs, warp_index, exclusive + base_e)
+        yield ctx.BARRIER
+        # Stage 4: every warp writes its hits at its block-level offset
+        if hits.size:
+            my_off = ctx.sload(woffs, ctx.warp_id)
+            view.write(my_off + offsets[flags == 1], hits)
+        yield ctx.BARRIER  # protect warp_counts reuse next trip

@@ -1,0 +1,117 @@
+"""The kernel-variant matrix of the paper's ablation study (Table II).
+
+The basic algorithm ("Ours") can be combined with two families of
+optimisations:
+
+* buffering — ``SM`` (shared-memory buffer with position translation,
+  Fig. 7) or ``VP`` (Warp-0 vertex-frontier prefetching);
+* compaction — ``BC`` (warp-level ballot-scan compaction, Fig. 8c) or
+  ``EC`` (block-level two-stage compaction in the scan kernel, Fig. 9,
+  with Hillis–Steele warp compaction in the loop kernel).
+
+Ring buffers (Section IV-C) are an orthogonal robustness option, off by
+default as in the paper's ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from repro.errors import UnknownAlgorithmError
+
+__all__ = ["VariantConfig", "VARIANTS", "get_variant", "variant_names"]
+
+#: valid values of :attr:`VariantConfig.compaction`
+_COMPACTION_MODES = ("none", "ballot", "block")
+
+
+@dataclass(frozen=True)
+class VariantConfig:
+    """One cell of the ablation matrix."""
+
+    name: str
+    #: how new k-shell vertices are appended to the block buffer:
+    #: ``none`` = per-lane atomicAdd (Ours), ``ballot`` = BC,
+    #: ``block`` = EC
+    compaction: str = "none"
+    #: SM: buffer loop-phase vertices in shared memory (Fig. 7)
+    shared_buffer: bool = False
+    #: VP: Warp 0 prefetches the next frontier batch into shared memory
+    prefetch: bool = False
+    #: organise each block buffer as a ring buffer (Section IV-C)
+    ring_buffer: bool = False
+    #: virtual warping (Section III): logical warps per physical warp,
+    #: each processing one vertex's adjacency list with 32/vw lanes —
+    #: "mainly for those graphs with a low average degree"
+    virtual_warps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.compaction not in _COMPACTION_MODES:
+            raise ValueError(
+                f"compaction must be one of {_COMPACTION_MODES}, "
+                f"got {self.compaction!r}"
+            )
+        if self.shared_buffer and self.prefetch:
+            raise ValueError("SM and VP are alternative buffering schemes")
+        if self.virtual_warps not in (1, 2, 4, 8):
+            raise ValueError("virtual_warps must be 1, 2, 4 or 8")
+        if self.virtual_warps > 1 and (
+            self.compaction != "none" or self.prefetch or self.shared_buffer
+        ):
+            raise ValueError(
+                "virtual warping is orthogonal to the other optimisations "
+                "(Section III) and is only combined with the basic kernel"
+            )
+
+    def with_ring_buffer(self) -> "VariantConfig":
+        """The same variant with ring-buffer wraparound enabled."""
+        return replace(self, name=self.name + "+ring", ring_buffer=True)
+
+
+def _build_registry() -> Dict[str, VariantConfig]:
+    # Spell the nine Table II variants out explicitly — the table is the
+    # spec, and nine literal entries beat a clever cross-product.
+    registry: Dict[str, VariantConfig] = {}
+    registry["ours"] = VariantConfig("ours")
+    registry["sm"] = VariantConfig("sm", shared_buffer=True)
+    registry["vp"] = VariantConfig("vp", prefetch=True)
+    registry["bc"] = VariantConfig("bc", compaction="ballot")
+    registry["bc+sm"] = VariantConfig("bc+sm", compaction="ballot", shared_buffer=True)
+    registry["bc+vp"] = VariantConfig("bc+vp", compaction="ballot", prefetch=True)
+    registry["ec"] = VariantConfig("ec", compaction="block")
+    registry["ec+sm"] = VariantConfig("ec+sm", compaction="block", shared_buffer=True)
+    registry["ec+vp"] = VariantConfig("ec+vp", compaction="block", prefetch=True)
+    return registry
+
+
+#: The nine program versions of Table II, keyed by their paper names
+#: (lower-cased): ours, sm, vp, bc, bc+sm, bc+vp, ec, ec+sm, ec+vp.
+VARIANTS: Dict[str, VariantConfig] = _build_registry()
+
+#: Variants outside Table II's matrix: virtual warping (Section III),
+#: which the paper describes for low-average-degree graphs but treats
+#: as orthogonal to its techniques.
+EXTENSION_VARIANTS: Dict[str, VariantConfig] = {
+    "vw2": VariantConfig("vw2", virtual_warps=2),
+    "vw4": VariantConfig("vw4", virtual_warps=4),
+}
+
+
+def variant_names() -> Tuple[str, ...]:
+    """The Table II variant names, in the paper's column order."""
+    return tuple(VARIANTS)
+
+
+def get_variant(name: str) -> VariantConfig:
+    """Variant config by (case-insensitive) name, covering both the
+    Table II matrix and the extension variants."""
+    key = name.lower()
+    if key in VARIANTS:
+        return VARIANTS[key]
+    if key in EXTENSION_VARIANTS:
+        return EXTENSION_VARIANTS[key]
+    known = ", ".join([*VARIANTS, *EXTENSION_VARIANTS])
+    raise UnknownAlgorithmError(
+        f"unknown kernel variant {name!r}; known: {known}"
+    ) from None

@@ -1,0 +1,29 @@
+"""CPU baselines: BZ, NetworkX-style, ParK, PKC/PKC-o and MPM."""
+
+from repro.cpu.bz import bz_core_numbers, bz_decompose, degeneracy_ordering
+from repro.cpu.external import (
+    SemiExternalConfig,
+    decompose_graph_via_disk,
+    semi_external_decompose,
+)
+from repro.cpu.mpm import h_index, mpm_core_numbers, mpm_decompose, mpm_sweep
+from repro.cpu.naive import networkx_style_core_numbers, networkx_style_decompose
+from repro.cpu.park import park_decompose
+from repro.cpu.pkc import pkc_decompose
+
+__all__ = [
+    "SemiExternalConfig",
+    "decompose_graph_via_disk",
+    "semi_external_decompose",
+    "bz_core_numbers",
+    "bz_decompose",
+    "degeneracy_ordering",
+    "h_index",
+    "mpm_core_numbers",
+    "mpm_decompose",
+    "mpm_sweep",
+    "networkx_style_core_numbers",
+    "networkx_style_decompose",
+    "park_decompose",
+    "pkc_decompose",
+]

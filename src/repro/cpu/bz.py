@@ -1,0 +1,97 @@
+"""The Batagelj–Zaversnik (BZ) serial peeling algorithm.
+
+BZ computes the full k-core decomposition in ``O(m)`` time using the
+four carefully selected arrays of the original paper (and of ParK's
+Section II-A recap): ``vert`` (vertices in ascending current-degree
+order), ``pos`` (each vertex's position in ``vert``), ``bin`` (start of
+each degree bucket in ``vert``) and ``deg`` (current degrees).  Each
+step removes the lowest-degree remaining vertex and moves its neighbors
+one bucket down.
+
+This is the reference implementation every other program in the
+repository is validated against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.result import DecompositionResult
+
+__all__ = ["bz_core_numbers", "bz_decompose", "degeneracy_ordering"]
+
+
+def bz_core_numbers(graph: CSRGraph) -> np.ndarray:
+    """Core number of every vertex via bucket peeling (``O(m)``)."""
+    core, _ = _bz(graph)
+    return core
+
+
+def degeneracy_ordering(graph: CSRGraph) -> np.ndarray:
+    """The smallest-degree-last elimination order BZ peels in.
+
+    Useful on its own: it is the degeneracy ordering used by clique
+    enumeration and other pruning applications the paper motivates.
+    """
+    _, order = _bz(graph)
+    return order
+
+
+def _bz(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+    n = graph.num_vertices
+    deg = graph.degrees.astype(np.int64).copy()
+    if n == 0:
+        return deg, np.empty(0, dtype=np.int64)
+    max_deg = int(deg.max()) if deg.size else 0
+
+    # Bucket sort vertices by degree: vert/pos/bin of the BZ paper.
+    bins = np.zeros(max_deg + 2, dtype=np.int64)
+    np.add.at(bins, deg + 1, 1)
+    np.cumsum(bins, out=bins)
+    vert = np.argsort(deg, kind="stable").astype(np.int64)
+    pos = np.empty(n, dtype=np.int64)
+    pos[vert] = np.arange(n)
+
+    offsets, neighbors = graph.offsets, graph.neighbors
+    core = deg  # updated in place; converges to core numbers
+    for i in range(n):
+        v = vert[i]
+        dv = core[v]
+        # Everything before position i is peeled; v is the minimum now.
+        for u in neighbors[offsets[v] : offsets[v + 1]]:
+            if core[u] > dv:
+                du = core[u]
+                pu = pos[u]
+                # swap u with the first vertex of its bucket
+                pw = bins[du]
+                w = vert[pw]
+                if u != w:
+                    vert[pu], vert[pw] = w, u
+                    pos[u], pos[w] = pw, pu
+                bins[du] += 1
+                core[u] = du - 1
+    return core, vert
+
+
+def bz_decompose(graph: CSRGraph) -> DecompositionResult:
+    """BZ as a :class:`DecompositionResult`, for the benchmark harness.
+
+    ``simulated_ms`` applies a simple serial cost: one unit per vertex
+    extraction plus one per directed edge relaxation, matching the
+    algorithm's ``O(n + m)`` bound.
+    """
+    core = bz_core_numbers(graph)
+    n, m2 = graph.num_vertices, graph.neighbors.size
+    ops = n + m2
+    # Serial CPU cost: ~6 ns per bucket operation on the paper's Xeon.
+    simulated_ms = ops * 6e-6
+    kmax = int(core.max()) if core.size else 0
+    return DecompositionResult(
+        core=core,
+        algorithm="bz",
+        simulated_ms=simulated_ms,
+        peak_memory_bytes=8 * (4 * n + m2),
+        rounds=kmax + 1,
+        stats={"ops": ops},
+    )

@@ -1,0 +1,124 @@
+"""MPM — distributed-style k-core decomposition by h-index refinement
+(Montresor, De Pellegrini & Miorandi).
+
+Every vertex holds a core-number estimate ``a(v)``, initialised to its
+degree, and repeatedly replaces it with the *h-index* of its neighbors'
+estimates (Fig. 2 of the paper): sort the neighbor estimates in
+non-increasing order and take the largest ``i`` with ``A[i] >= i``.
+When no estimate changes, ``a(v) == core(v)`` for all vertices.
+
+Each vertex recomputes many times, so total workload exceeds the
+peeling algorithms' single-visit workload — the reason MPM loses to PKC
+on shared-memory machines (Table IV) despite its minimal coordination.
+
+The sweep here is synchronous (Jacobi-style) and fully vectorised: all
+h-indices of a sweep are computed from the previous sweep's estimates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.multicore.costmodel import CpuCostModel
+from repro.multicore.machine import SimulatedMulticore
+from repro.result import DecompositionResult
+
+__all__ = ["h_index", "mpm_sweep", "mpm_core_numbers", "mpm_decompose"]
+
+
+def h_index(values: np.ndarray) -> int:
+    """The h-index of a multiset: ``max{i : A[i] >= i}`` after sorting
+    non-increasingly (0 for an empty multiset).
+
+    >>> h_index(np.array([5, 5, 3, 3, 2, 2]))
+    3
+    """
+    values = np.sort(np.asarray(values))[::-1]
+    ranks = np.arange(1, values.size + 1)
+    satisfied = values >= ranks
+    return int(satisfied.sum())  # prefix property: count == prefix length
+
+
+def mpm_sweep(
+    estimates: np.ndarray, offsets: np.ndarray, neighbors: np.ndarray
+) -> np.ndarray:
+    """One synchronous h-index refinement sweep over every vertex."""
+    n = offsets.size - 1
+    degrees = np.diff(offsets)
+    values = estimates[neighbors]
+    segments = np.repeat(np.arange(n), degrees)
+    order = np.lexsort((-values, segments))
+    sorted_values = values[order]
+    ranks = np.arange(neighbors.size) - np.repeat(offsets[:-1], degrees)
+    satisfied = sorted_values >= ranks + 1
+    # within each segment the satisfied positions are a prefix, so the
+    # per-segment count *is* the h-index
+    if neighbors.size == 0:
+        return np.zeros(n, dtype=np.int64)
+    cumulative = np.cumsum(satisfied)
+    ends = offsets[1:]
+    starts = offsets[:-1]
+    upper = cumulative[ends - 1]
+    lower = np.where(starts > 0, cumulative[starts - 1], 0)
+    h = np.where(ends > starts, upper - lower, 0)
+    return np.minimum(estimates, h)
+
+
+def mpm_core_numbers(graph: CSRGraph) -> tuple[np.ndarray, int]:
+    """Iterate :func:`mpm_sweep` to the fixpoint.
+
+    Returns ``(core_numbers, sweeps)``.
+    """
+    estimates = graph.degrees.astype(np.int64).copy()
+    sweeps = 0
+    while True:
+        sweeps += 1
+        refined = mpm_sweep(estimates, graph.offsets, graph.neighbors)
+        if np.array_equal(refined, estimates):
+            return refined, sweeps
+        estimates = refined
+
+
+def mpm_decompose(
+    graph: CSRGraph,
+    parallel: bool = True,
+    cost: CpuCostModel | None = None,
+) -> DecompositionResult:
+    """MPM as a :class:`DecompositionResult` for the Table IV harness.
+
+    Every sweep touches every edge plus an ``O(deg log deg)`` sort per
+    vertex; threads partition the vertices, and one barrier separates
+    sweeps.
+    """
+    cost = cost or CpuCostModel()
+    threads = cost.threads if parallel else 1
+    machine = SimulatedMulticore(cost, threads=threads)
+    n = graph.num_vertices
+    degrees = graph.degrees
+
+    core, sweeps = mpm_core_numbers(graph)
+
+    # per-vertex sweep cost: gather + sort + scan of the neighbor list
+    per_vertex = degrees * (2.0 + np.log2(np.maximum(degrees, 2))) + 4.0
+    owner = np.arange(n) % threads
+    per_thread = np.bincount(owner, weights=per_vertex, minlength=threads)
+    for _ in range(sweeps):
+        for t in np.flatnonzero(per_thread):
+            machine.add_ops(int(t), float(per_thread[t]))
+        if parallel:
+            machine.barrier()
+
+    simulated_ms = machine.finish()
+    return DecompositionResult(
+        core=core,
+        algorithm="mpm" if parallel else "mpm-serial",
+        simulated_ms=simulated_ms,
+        peak_memory_bytes=8 * (3 * n + graph.neighbors.size),
+        rounds=sweeps,
+        stats={
+            "threads": threads,
+            "sweeps": sweeps,
+            "total_ops": machine.total_ops,
+        },
+    )

@@ -1,0 +1,91 @@
+"""Pure-Python dict-based decomposition — the NetworkX baseline.
+
+NetworkX's ``core_number`` implements the Batagelj–Zaversnik algorithm
+over Python dicts and lists.  Table IV's point is not algorithmic — it
+is that interpreted per-element machinery costs orders of magnitude
+more than compiled arrays, and that loading a big edge list through
+pure Python can exceed an hour.  This module genuinely executes the
+dict-based algorithm (so its result is validated like everything else)
+while counting interpreted operations for the cost model, and models
+the loading cost separately (the "LD > 1hr" rows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.multicore.costmodel import CpuCostModel
+from repro.result import DecompositionResult
+
+__all__ = ["networkx_style_core_numbers", "networkx_style_decompose"]
+
+
+def networkx_style_core_numbers(graph: CSRGraph) -> tuple[np.ndarray, int]:
+    """Dict-based BZ exactly as NetworkX implements it.
+
+    Returns ``(core, interpreted_ops)`` where ``interpreted_ops`` counts
+    the dict/list touches the interpreter performed.
+    """
+    ops = 0
+    n = graph.num_vertices
+    degrees = {v: graph.degree(v) for v in range(n)}
+    ops += n
+    # sort vertices by degree (NetworkX sorts the node list)
+    nodes = sorted(degrees, key=degrees.get)
+    ops += int(n * max(1, np.log2(n + 1)))
+    bin_boundaries = [0]
+    curr_degree = 0
+    for i, v in enumerate(nodes):
+        if degrees[v] > curr_degree:
+            bin_boundaries.extend([i] * (degrees[v] - curr_degree))
+            curr_degree = degrees[v]
+        ops += 1
+    node_pos = {v: pos for pos, v in enumerate(nodes)}
+    ops += n
+    core = dict(degrees)
+    neighbors_of = {v: list(graph.neighbors_of(v)) for v in range(n)}
+    ops += n + graph.neighbors.size
+    for v in nodes:
+        for u in neighbors_of[v]:
+            ops += 1
+            if core[u] > core[v]:
+                pos = node_pos[u]
+                bin_start = bin_boundaries[core[u]]
+                node_pos[u] = bin_start
+                node_pos[nodes[bin_start]] = pos
+                nodes[bin_start], nodes[pos] = nodes[pos], nodes[bin_start]
+                bin_boundaries[core[u]] += 1
+                core[u] -= 1
+                ops += 9  # the bucket swap: six dict/list writes + reads
+    result = np.zeros(n, dtype=np.int64)
+    for v, c in core.items():
+        result[v] = c
+    return result, ops
+
+
+def networkx_style_decompose(
+    graph: CSRGraph, cost: CpuCostModel | None = None
+) -> DecompositionResult:
+    """NetworkX-style run as a :class:`DecompositionResult`.
+
+    ``stats["load_ms"]`` models reading the edge list through pure
+    Python (the cost that exceeds an hour for the paper's big graphs)
+    and is *not* included in ``simulated_ms``, matching how Table IV
+    reports "LD > 1hr" separately from compute time.
+    """
+    cost = cost or CpuCostModel()
+    core, ops = networkx_style_core_numbers(graph)
+    # loading: ~40 interpreted ops per edge (parse, split, int(), insert)
+    load_ops = 40.0 * graph.num_edges + 10.0 * graph.num_vertices
+    kmax = int(core.max()) if core.size else 0
+    return DecompositionResult(
+        core=core,
+        algorithm="networkx",
+        simulated_ms=cost.python_ms(ops),
+        peak_memory_bytes=int(
+            120 * graph.num_vertices + 60 * graph.neighbors.size
+        ),  # dict/list object overheads
+        rounds=kmax + 1,
+        stats={"interpreted_ops": ops, "load_ms": cost.python_ms(load_ops)},
+    )

@@ -1,0 +1,133 @@
+"""PKC and PKC-o — lock-reduced multicore peeling (Kabir & Madduri).
+
+PKC keeps ParK's two-phase round structure but gives every thread a
+*local* buffer ``B_loc``: the scan phase collects a thread's hits into
+its own buffer, and the loop phase lets each thread drain its buffer to
+exhaustion independently — no sub-level barriers at all (one
+synchronisation per round).  Cross-thread races on shared neighbors are
+resolved with the same atomic decrement-and-check the GPU kernel uses.
+
+The paper benchmarks two flavours from the PKC authors' code:
+
+* **PKC-o** ("original") — exactly the above;
+* **PKC** — additionally *rebuilds* the working graph once the vast
+  majority of vertices have been peeled, so the remaining (often
+  thousands of) rounds scan only the few surviving vertices.  This is
+  what makes PKC several times faster than PKC-o on high-``k_max`` web
+  graphs in Table IV.  (The original code triggers at 98 % processed;
+  with our ~1000x smaller analogues the surviving-core fraction is
+  relatively larger, so the trigger is 90 % — same mechanism, scaled.)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.multicore.costmodel import CpuCostModel
+from repro.multicore.machine import SimulatedMulticore
+from repro.result import DecompositionResult
+
+__all__ = ["pkc_decompose"]
+
+#: fraction of vertices that must be peeled before PKC compacts the
+#: working graph (the original code uses 0.98 at full scale)
+COMPACTION_TRIGGER = 0.90
+
+
+def pkc_decompose(
+    graph: CSRGraph,
+    parallel: bool = True,
+    compact: bool = True,
+    cost: CpuCostModel | None = None,
+) -> DecompositionResult:
+    """Run PKC (``compact=True``) or PKC-o (``compact=False``).
+
+    ``parallel=False`` gives the serial rows of Table IV.
+    """
+    cost = cost or CpuCostModel()
+    threads = cost.threads if parallel else 1
+    machine = SimulatedMulticore(cost, threads=threads)
+
+    n = graph.num_vertices
+    offsets, neighbors = graph.offsets, graph.neighbors
+    deg = graph.degrees.astype(np.int64).copy()
+    core = np.zeros(n, dtype=np.int64)
+    alive = np.ones(n, dtype=bool)
+    remaining = n
+    k = 0
+    compacted = False
+    scan_domain = np.arange(n)  # vertices the scan phase sweeps
+
+    while remaining > 0:
+        # ---- optional graph compaction (PKC only) ----
+        if (
+            compact
+            and not compacted
+            and remaining <= (1.0 - COMPACTION_TRIGGER) * n
+        ):
+            scan_domain = np.flatnonzero(alive)
+            live_edges = int(deg[scan_domain].sum())
+            machine.spread_ops(n + live_edges)  # one-time rebuild sweep
+            if parallel:
+                machine.barrier()
+            compacted = True
+        elif compacted:
+            scan_domain = scan_domain[alive[scan_domain]]
+
+        # ---- scan phase into thread-local buffers ----
+        machine.spread_ops(scan_domain.size)
+        hits = scan_domain[alive[scan_domain] & (deg[scan_domain] <= k)]
+        # thread-local buffers: hit at scan position p goes to thread p % T.
+        # No barrier here: with local buffers a thread flows straight
+        # from its scan into its drain — PKC's whole point is one
+        # synchronisation per round.
+        local: list[deque] = [deque() for _ in range(threads)]
+        for i, v in enumerate(hits):
+            local[i % threads].append(int(v))
+
+        # ---- loop phase: each thread drains its own buffer ----
+        # Threads run concurrently in reality; emulate that with a
+        # round-robin over the queues (one vertex per thread per turn)
+        # so propagated vertices are claimed by the thread whose BFS
+        # actually reaches them first, not by whoever is emulated first.
+        pending = deque(t for t in range(threads) if local[t])
+        while pending:
+            t = pending.popleft()
+            queue = local[t]
+            v = queue.popleft()
+            if alive[v]:
+                alive[v] = False
+                core[v] = k
+                remaining -= 1
+                nbrs = neighbors[offsets[v] : offsets[v + 1]]
+                machine.add_ops(t, float(nbrs.size + 4))
+                live = nbrs[alive[nbrs] & (deg[nbrs] > k)]
+                machine.add_atomics(t, float(live.size))
+                deg[live] -= 1
+                for u in live[deg[live] <= k]:
+                    queue.append(int(u))
+            if queue:
+                pending.append(t)
+        if parallel:
+            machine.barrier()  # one synchronisation per round
+        k += 1
+
+    simulated_ms = machine.finish()
+    prefix = "pkc" if compact else "pkc-o"
+    return DecompositionResult(
+        core=core,
+        algorithm=prefix if parallel else f"{prefix}-serial",
+        simulated_ms=simulated_ms,
+        peak_memory_bytes=8 * (4 * n + graph.neighbors.size),
+        rounds=k,
+        stats={
+            "threads": threads,
+            "compacted": compacted,
+            "barriers": machine.barriers,
+            "total_ops": machine.total_ops,
+            "total_atomics": machine.total_atomics,
+        },
+    )

@@ -1,0 +1,88 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Simulated-hardware
+failures (device out-of-memory, block-buffer overflow, simulated-time
+budget exceeded) are modelled as exceptions because the paper reports them
+as experiment outcomes ("OOM", "> 1hr" in Tables III-V).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphFormatError(ReproError):
+    """An input edge list or graph file could not be parsed."""
+
+
+class GraphValidationError(ReproError):
+    """A graph object violates a structural invariant (e.g. bad offsets)."""
+
+
+class UnknownDatasetError(ReproError, KeyError):
+    """A dataset name is not present in the dataset registry."""
+
+
+class UnknownAlgorithmError(ReproError, KeyError):
+    """An algorithm name is not present in the algorithm registry."""
+
+
+class DeviceError(ReproError):
+    """Base class for simulated-GPU failures."""
+
+
+class DeviceOutOfMemoryError(DeviceError):
+    """A ``malloc`` on the simulated device exceeded its global memory.
+
+    Mirrors the "OOM" outcomes of Tables III and V in the paper.
+    """
+
+    def __init__(self, requested: int, in_use: int, capacity: int) -> None:
+        self.requested = requested
+        self.in_use = in_use
+        self.capacity = capacity
+        super().__init__(
+            f"device OOM: requested {requested} B with {in_use} B already "
+            f"allocated of {capacity} B capacity"
+        )
+
+
+class BufferOverflowError(DeviceError):
+    """A per-block vertex buffer overflowed its fixed capacity.
+
+    The paper's basic kernel asserts on this condition (Section IV-C);
+    the ring-buffer organisation postpones but does not eliminate it.
+    """
+
+    def __init__(self, block: int, capacity: int) -> None:
+        self.block = block
+        self.capacity = capacity
+        super().__init__(
+            f"buffer of block {block} overflowed its capacity of "
+            f"{capacity} vertex slots"
+        )
+
+
+class SimulatedTimeLimitExceeded(ReproError):
+    """A program exceeded its simulated-time budget.
+
+    Mirrors the "> 1hr" force-terminations of Tables III and IV.
+    """
+
+    def __init__(self, elapsed_ms: float, budget_ms: float) -> None:
+        self.elapsed_ms = elapsed_ms
+        self.budget_ms = budget_ms
+        super().__init__(
+            f"simulated time {elapsed_ms:.1f} ms exceeded budget "
+            f"{budget_ms:.1f} ms"
+        )
+
+
+class KernelDeadlockError(DeviceError):
+    """The cooperative scheduler detected a barrier that can never be
+    satisfied (e.g. some warps exited while others wait at
+    ``__syncthreads``) — the failure mode the paper warns about when
+    discussing Line 7/8 ordering of Algorithm 3."""

@@ -1,0 +1,33 @@
+"""SIMT GPU simulator: the substrate the paper's CUDA kernels run on.
+
+See DESIGN.md section 2 for why a simulator substitutes for the Tesla
+P100 and what it preserves.  Public entry points:
+
+* :class:`~repro.gpusim.device.Device` — memory + kernel launches +
+  accumulated simulated time,
+* :class:`~repro.gpusim.spec.DeviceSpec` — hardware parameters,
+* :class:`~repro.gpusim.costmodel.CostModel` — cycle cost constants,
+* :class:`~repro.gpusim.context.WarpContext` — the API kernels program
+  against (loads, stores, atomics, shared memory, warp primitives).
+"""
+
+from repro.gpusim.context import BARRIER, STEP, WarpContext
+from repro.gpusim.costmodel import BlockTiming, CostModel
+from repro.gpusim.device import Device
+from repro.gpusim.memory import DeviceArray, GlobalMemory
+from repro.gpusim.scheduler import KernelStats, run_kernel
+from repro.gpusim.spec import DeviceSpec
+
+__all__ = [
+    "BARRIER",
+    "STEP",
+    "WarpContext",
+    "BlockTiming",
+    "CostModel",
+    "Device",
+    "DeviceArray",
+    "GlobalMemory",
+    "KernelStats",
+    "run_kernel",
+    "DeviceSpec",
+]

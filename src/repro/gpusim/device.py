@@ -1,0 +1,132 @@
+"""The device facade: memory + launches + accumulated metrics.
+
+A :class:`Device` plays the role of the GPU in the paper's host
+programs: the host ``malloc``s input arrays, launches a series of
+kernels, reads scalars back, and finally frees everything.  The device
+accumulates simulated time (kernel cycles plus per-launch host
+overhead) and tracks peak global-memory usage for Table V.
+
+An optional ``time_budget_ms`` reproduces the paper's one-hour
+force-termination: when accumulated simulated time crosses the budget,
+the next launch raises
+:class:`~repro.errors.SimulatedTimeLimitExceeded`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import SimulatedTimeLimitExceeded
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.memory import DeviceArray, GlobalMemory
+from repro.gpusim.scheduler import KernelFn, KernelStats, run_kernel
+from repro.gpusim.spec import DeviceSpec
+
+__all__ = ["Device"]
+
+
+class Device:
+    """A simulated GPU with memory, a cost model, and a launch queue."""
+
+    def __init__(
+        self,
+        spec: DeviceSpec | None = None,
+        cost_model: CostModel | None = None,
+        time_budget_ms: float | None = None,
+        preempt_prob: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.spec = spec or DeviceSpec()
+        self.spec.validate()
+        self.cost_model = cost_model or CostModel()
+        self.memory = GlobalMemory(
+            self.spec.global_memory_bytes,
+            base_usage=self.spec.context_overhead_bytes,
+        )
+        self.time_budget_ms = time_budget_ms
+        self.preempt_prob = preempt_prob
+        self._seed = seed
+        self.kernel_launches = 0
+        self.total_cycles = 0.0
+        self.launch_log: list[KernelStats] = []
+
+    # -- memory -------------------------------------------------------------
+
+    def malloc(
+        self, name: str, size: int | np.ndarray, fill: int = 0
+    ) -> DeviceArray:
+        """``cudaMalloc`` (optionally with a host-to-device copy)."""
+        return self.memory.malloc(name, size, fill=fill, id_bytes=self.spec.id_bytes)
+
+    def free(self, name: str) -> None:
+        """``cudaFree``."""
+        self.memory.free(name)
+
+    def read_back(self, array: DeviceArray) -> np.ndarray:
+        """``cudaMemcpyDeviceToHost``: a defensive copy of the data."""
+        return array.data.copy()
+
+    # -- launches -----------------------------------------------------------
+
+    def launch(
+        self,
+        kernel_fn: KernelFn,
+        args: Sequence[Any] = (),
+        kwargs: dict | None = None,
+        grid_dim: int | None = None,
+        block_dim: int | None = None,
+    ) -> KernelStats:
+        """Launch ``kernel_fn<<<grid_dim, block_dim>>>(*args)``.
+
+        Accumulates the kernel's cycles and the host-side launch
+        overhead into the device clock, then enforces the time budget.
+        """
+        stats = run_kernel(
+            kernel_fn,
+            self.spec,
+            self.cost_model,
+            grid_dim if grid_dim is not None else self.spec.default_grid_dim,
+            block_dim if block_dim is not None else self.spec.default_block_dim,
+            args=args,
+            kwargs=kwargs,
+            preempt_prob=self.preempt_prob,
+            seed=self._seed + self.kernel_launches,
+        )
+        self.kernel_launches += 1
+        self.total_cycles += stats.cycles
+        self.launch_log.append(stats)
+        self._check_budget()
+        return stats
+
+    def charge(self, cycles: float = 0.0, launches: int = 0) -> None:
+        """Account for device work executed outside the SIMT scheduler.
+
+        The graph-parallel system emulations compute their work (edges
+        touched, vertices filtered, supersteps) at the logical level and
+        convert it to cycles with their own tuning constants; this books
+        that time against the device clock so the same time budget and
+        metrics apply to every GPU program.
+        """
+        self.total_cycles += cycles
+        self.kernel_launches += launches
+        self._check_budget()
+
+    # -- metrics --------------------------------------------------------------
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Total simulated milliseconds: kernel time + launch overhead."""
+        kernel_ms = self.cost_model.cycles_to_ms(self.total_cycles)
+        host_ms = self.kernel_launches * self.cost_model.kernel_launch_us / 1000.0
+        return kernel_ms + host_ms
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        """High-water mark of device global memory."""
+        return self.memory.peak
+
+    def _check_budget(self) -> None:
+        if self.time_budget_ms is not None and self.elapsed_ms > self.time_budget_ms:
+            raise SimulatedTimeLimitExceeded(self.elapsed_ms, self.time_budget_ms)

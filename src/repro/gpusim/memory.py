@@ -1,0 +1,99 @@
+"""Simulated device global memory.
+
+Allocation mirrors the ``cudaMalloc`` / ``cudaFree`` lifecycle of a CUDA
+host program and enforces the device capacity — exceeding it raises
+:class:`~repro.errors.DeviceOutOfMemoryError`, which the benchmark
+harness reports as "OOM" exactly like Tables III and V.
+
+A :class:`DeviceArray` is backed by a host numpy array (int64 for
+indexing convenience) but accounted at the device width (4-byte IDs by
+default), matching how the paper stores graphs compactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import DeviceOutOfMemoryError
+
+__all__ = ["DeviceArray", "GlobalMemory"]
+
+
+@dataclass
+class DeviceArray:
+    """A named allocation in simulated global memory."""
+
+    name: str
+    data: np.ndarray
+    device_bytes: int
+
+    def __len__(self) -> int:
+        return int(self.data.size)
+
+
+class GlobalMemory:
+    """Tracks allocations against a fixed device capacity.
+
+    Attributes:
+        capacity: usable global memory in bytes.
+        in_use: currently allocated bytes.
+        peak: high-water mark of ``in_use`` over the memory's lifetime.
+    """
+
+    def __init__(self, capacity: int, base_usage: int = 0) -> None:
+        self.capacity = int(capacity)
+        self.in_use = int(base_usage)
+        self.peak = int(base_usage)
+        self._arrays: Dict[str, DeviceArray] = {}
+        if base_usage > capacity:
+            raise DeviceOutOfMemoryError(base_usage, 0, capacity)
+
+    def malloc(
+        self,
+        name: str,
+        size: int | np.ndarray,
+        fill: int = 0,
+        id_bytes: int = 4,
+    ) -> DeviceArray:
+        """Allocate ``size`` vertex-ID slots (or copy an array in).
+
+        Passing an array mirrors ``cudaMalloc`` + ``cudaMemcpyHostToDevice``
+        in one step; the host copy keeps int64 for indexing, the device
+        accounting uses ``id_bytes`` per element.
+        """
+        if name in self._arrays:
+            raise ValueError(f"device array {name!r} already allocated")
+        if isinstance(size, np.ndarray):
+            data = size.astype(np.int64, copy=True)
+        else:
+            data = np.full(int(size), fill, dtype=np.int64)
+        device_bytes = int(data.size) * id_bytes
+        if self.in_use + device_bytes > self.capacity:
+            raise DeviceOutOfMemoryError(device_bytes, self.in_use, self.capacity)
+        self.in_use += device_bytes
+        self.peak = max(self.peak, self.in_use)
+        array = DeviceArray(name, data, device_bytes)
+        self._arrays[name] = array
+        return array
+
+    def free(self, name: str) -> None:
+        """Release an allocation (``cudaFree``)."""
+        array = self._arrays.pop(name)
+        self.in_use -= array.device_bytes
+
+    def get(self, name: str) -> DeviceArray:
+        """Look up a live allocation by name."""
+        return self._arrays[name]
+
+    def free_all(self) -> None:
+        """Release every allocation (end-of-program cleanup)."""
+        for name in list(self._arrays):
+            self.free(name)
+
+    @property
+    def available(self) -> int:
+        """Bytes still allocatable."""
+        return self.capacity - self.in_use

@@ -1,0 +1,130 @@
+"""Cooperative scheduler: runs a kernel grid of warp generators.
+
+All warps of all blocks share one round-robin run queue, so work from
+different blocks interleaves — cross-block races on global memory (the
+scenario of the paper's Fig. 6) actually occur.  ``__syncthreads``
+(yielding :data:`~repro.gpusim.context.BARRIER`) parks a warp until
+every still-running warp of its block arrives, matching CUDA semantics
+where exited threads no longer participate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Sequence
+
+import numpy as np
+
+from repro.errors import KernelDeadlockError
+from repro.gpusim.context import BARRIER, STEP, BlockState, WarpContext
+from repro.gpusim.costmodel import BlockTiming, CostModel
+from repro.gpusim.spec import DeviceSpec
+
+__all__ = ["KernelStats", "run_kernel"]
+
+KernelFn = Callable[..., Generator[str, None, None]]
+
+
+@dataclass(frozen=True)
+class KernelStats:
+    """Aggregated outcome of one kernel launch."""
+
+    cycles: float
+    issued: float
+    mem_transactions: float
+    barriers: int
+    max_warp_path: float
+
+    def milliseconds(self, cost: CostModel) -> float:
+        """Kernel duration in simulated milliseconds (device time only)."""
+        return cost.cycles_to_ms(self.cycles)
+
+
+@dataclass
+class _Runner:
+    block: BlockState
+    ctx: WarpContext
+    gen: Generator[str, None, None]
+
+
+def run_kernel(
+    kernel_fn: KernelFn,
+    spec: DeviceSpec,
+    cost: CostModel,
+    grid_dim: int,
+    block_dim: int,
+    args: Sequence[Any] = (),
+    kwargs: dict | None = None,
+    preempt_prob: float = 0.0,
+    seed: int = 0,
+) -> KernelStats:
+    """Execute ``kernel_fn`` over a ``grid_dim x block_dim`` launch.
+
+    ``kernel_fn(ctx, *args, **kwargs)`` must be a generator function;
+    it is instantiated once per warp.  Returns the kernel's
+    :class:`KernelStats` under the given cost model.
+    """
+    if block_dim % spec.warp_size:
+        raise ValueError("block_dim must be a multiple of the warp size")
+    kwargs = kwargs or {}
+    warps_per_block = block_dim // spec.warp_size
+    rng = np.random.default_rng(seed) if preempt_prob > 0 else None
+
+    blocks = [BlockState(b, warps_per_block, spec) for b in range(grid_dim)]
+    queue: deque[_Runner] = deque()
+    for block in blocks:
+        for w in range(warps_per_block):
+            ctx = WarpContext(
+                block, w, grid_dim, block_dim, spec, cost,
+                rng=rng, preempt_prob=preempt_prob,
+            )
+            queue.append(_Runner(block, ctx, kernel_fn(ctx, *args, **kwargs)))
+
+    def _release_if_complete(block: BlockState) -> None:
+        if block.waiting and len(block.waiting) == block.active_warps:
+            block.timing.barriers += 1
+            queue.extend(block.waiting)
+            block.waiting.clear()
+
+    max_paths = [0.0] * grid_dim
+    while queue:
+        runner = queue.popleft()
+        block = runner.block
+        try:
+            token = next(runner.gen)
+        except StopIteration:
+            block.active_warps -= 1
+            max_paths[block.block_idx] = max(
+                max_paths[block.block_idx], runner.ctx.path
+            )
+            block.timing.issued += runner.ctx.issued
+            _release_if_complete(block)
+            continue
+        if token == STEP:
+            queue.append(runner)
+        elif token == BARRIER:
+            block.waiting.append(runner)
+            _release_if_complete(block)
+        else:
+            raise ValueError(f"kernel yielded unknown token {token!r}")
+
+    for block in blocks:
+        if block.waiting:
+            raise KernelDeadlockError(
+                f"block {block.block_idx}: {len(block.waiting)} warps stuck "
+                f"at __syncthreads with {block.active_warps} still active"
+            )
+
+    timings: list[BlockTiming] = []
+    for block in blocks:
+        block.timing.max_warp_path = max_paths[block.block_idx]
+        timings.append(block.timing)
+    cycles = cost.kernel_cycles(timings, spec.num_sms)
+    return KernelStats(
+        cycles=cycles,
+        issued=sum(t.issued for t in timings),
+        mem_transactions=sum(t.mem_transactions for t in timings),
+        barriers=sum(t.barriers for t in timings),
+        max_warp_path=max(t.max_warp_path for t in timings) if timings else 0.0,
+    )

@@ -1,0 +1,80 @@
+"""Simulated-device specification.
+
+The defaults describe "SimP100", a scaled-down stand-in for the NVIDIA
+Tesla P100 the paper runs on (56 SMs, 16 GB global memory, launches of
+108 blocks x 1024 threads, 1M-entry per-block buffers, 10k-entry
+shared-memory buffers).  Everything is scaled by roughly three orders
+of magnitude to match the scaled dataset analogues, keeping the
+*ratios* that drive the paper's findings: buffers dwarf per-block
+shared memory, the grid has as many blocks as SMs, and each block runs
+many warps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "PAPER_SCALE_NOTE"]
+
+PAPER_SCALE_NOTE = (
+    "paper: Tesla P100, 108 blocks x 1024 threads, 16 GB global memory, "
+    "1M-entry block buffers, 10k-entry shared buffers; "
+    "SimP100 scales all of these by ~2^7 to match the scaled datasets"
+)
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static hardware parameters of the simulated GPU."""
+
+    name: str = "SimP100"
+    #: number of streaming multiprocessors; blocks are assigned
+    #: round-robin, so with ``grid_dim == num_sms`` each block owns an SM
+    #: (the paper launches exactly one block per SM: 108 blocks).
+    num_sms: int = 8
+    warp_size: int = 32
+    #: device global memory (paper: 16 GB, scaled by the same ~2^12
+    #: factor as the datasets so that the programs that exhaust a P100
+    #: on billion-edge graphs also exhaust SimP100 on their analogues)
+    global_memory_bytes: int = int(3.2 * 1024 * 1024)
+    #: per-block shared memory (paper: 48-96 KB per SM)
+    shared_memory_per_block_bytes: int = 48 * 1024
+    #: BLK_NUM of the paper's kernel launches (paper: 108)
+    default_grid_dim: int = 4
+    #: BLK_DIM of the paper's kernel launches (paper: 1024 = 32 warps)
+    default_block_dim: int = 512
+    #: per-block global-memory vertex buffer capacity in vertex IDs
+    #: (paper: 1,000,000)
+    block_buffer_capacity: int = 16384
+    #: per-block shared-memory vertex buffer capacity in vertex IDs,
+    #: used by the SM variant.  The paper's 10,000-entry buffer is a
+    #: *small fraction* of its per-round k-shells; the scaled value
+    #: keeps that ratio against the scaled datasets.
+    shared_buffer_capacity: int = 32
+    #: bytes per vertex ID in device memory (the paper stores 32-bit IDs)
+    id_bytes: int = 4
+    #: baseline device allocation (CUDA context, kernel images, ...) so
+    #: that small graphs still show a memory floor, as in Table V
+    context_overhead_bytes: int = 256 * 1024
+
+    @property
+    def warps_per_block(self) -> int:
+        """Warps per thread block (``BLK_DIM >> 5``)."""
+        return self.default_block_dim // self.warp_size
+
+    @property
+    def total_threads(self) -> int:
+        """NUM_THREADS of a default launch (``BLK_NUM * BLK_DIM``)."""
+        return self.default_grid_dim * self.default_block_dim
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for inconsistent parameters."""
+        if self.default_block_dim % self.warp_size:
+            raise ValueError("block_dim must be a multiple of the warp size")
+        if self.default_grid_dim <= 0 or self.default_block_dim <= 0:
+            raise ValueError("grid and block dimensions must be positive")
+        shared_needed = self.shared_buffer_capacity * self.id_bytes
+        if shared_needed > self.shared_memory_per_block_bytes:
+            raise ValueError(
+                "shared_buffer_capacity exceeds per-block shared memory"
+            )

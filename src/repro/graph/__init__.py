@@ -1,0 +1,14 @@
+"""Graph substrate: CSR storage, IO, recoding, generators and datasets."""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.io import read_edgelist, write_edgelist
+from repro.graph.recode import IdRecoder, recode_edge_array, recode_ids
+
+__all__ = [
+    "CSRGraph",
+    "read_edgelist",
+    "write_edgelist",
+    "IdRecoder",
+    "recode_ids",
+    "recode_edge_array",
+]

@@ -1,0 +1,315 @@
+"""Registry of the paper's 20 datasets as scaled-down synthetic analogues.
+
+The paper evaluates on 20 public graphs up to 1.15 billion edges
+(Table I).  With no network access and a pure-Python GPU *simulator* as
+the substrate, we regenerate each dataset as a seeded synthetic analogue
+about three orders of magnitude smaller that preserves the properties
+the paper's analysis turns on:
+
+* the **category** and qualitative degree shape (near-regular
+  co-purchasing, heavy-tailed social networks, hub-dominated trackers,
+  dense collaboration cores, high-``k_max`` web crawls);
+* the **relative ordering** of size, density, skew and ``k_max`` across
+  datasets — e.g. ``trackers`` keeps the most extreme degree standard
+  deviation, ``hollywood`` the highest average degree, ``indochina``
+  the highest ``k_max``, ``webbase`` the most vertices.
+
+Each entry also records the original Table I statistics so the Table I
+benchmark can print paper-vs-analogue rows side by side.  If a user has
+the real SNAP/KONECT files on disk, :func:`load_real` reads them with
+:func:`repro.graph.io.read_edgelist` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Callable, Dict, Tuple
+
+from repro.errors import UnknownDatasetError
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+from repro.graph.io import read_edgelist
+
+__all__ = [
+    "PaperStats",
+    "DatasetSpec",
+    "DATASETS",
+    "dataset_names",
+    "get_spec",
+    "load",
+    "load_real",
+    "small_dataset_names",
+]
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """The Table I row for a dataset, as published."""
+
+    num_vertices: int
+    num_edges: int
+    avg_degree: float
+    degree_std: float
+    max_degree: int
+    kmax: int
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named dataset: its paper statistics plus the analogue builder."""
+
+    name: str
+    category: str
+    paper: PaperStats
+    builder: Callable[[], CSRGraph]
+
+    def build(self) -> CSRGraph:
+        """Generate the synthetic analogue (deterministic)."""
+        return self.builder()
+
+
+def _skewed_web(
+    n: int,
+    rmat_scale: int,
+    edge_factor: float,
+    core_size: int,
+    core_degree: int,
+    seed: int,
+    tail_degree: float = 2.0,
+) -> CSRGraph:
+    """Web-crawl analogue: R-MAT skeleton + planted dense nucleus.
+
+    The planted nucleus controls ``k_max`` (the number of peel rounds);
+    the R-MAT part supplies the skewed, community-rich bulk.
+    """
+    web = gen.rmat(rmat_scale, edge_factor=edge_factor, seed=seed)
+    core = gen.planted_core(
+        n, core_size=core_size, core_degree=core_degree,
+        background_degree=tail_degree, seed=seed + 1,
+    )
+    return gen.union_graphs(web, core)
+
+
+def _social(
+    n: int, attach: int, core_size: int, core_degree: int, seed: int
+) -> CSRGraph:
+    """Social-network analogue: preferential attachment + dense nucleus."""
+    social = gen.barabasi_albert(n, attach=attach, seed=seed)
+    core = gen.planted_core(
+        n, core_size=core_size, core_degree=core_degree,
+        background_degree=0.0, seed=seed + 1,
+    )
+    return gen.union_graphs(social, core)
+
+
+def _tracker(n: int, seed: int) -> CSRGraph:
+    """Tracker analogue (paper: avg degree 10.2, std 2,774, max degree
+    11.57M): one enormous hub for the extreme skew, several medium hubs,
+    and a low-degree tail that keeps per-vertex computation small — the
+    regime where the paper finds vertex prefetching (VP) pays off —
+    plus a moderately deep nucleus."""
+    hubs = gen.hub_and_spokes(
+        n, num_hubs=10, hub_degree_fraction=0.3, tail_degree=8.0, seed=seed
+    )
+    mega = gen.hub_and_spokes(
+        n, num_hubs=1, hub_degree_fraction=0.7, tail_degree=0.0, seed=seed + 2
+    )
+    core = gen.planted_core(
+        n, core_size=220, core_degree=45, background_degree=0.0, seed=seed + 1
+    )
+    return gen.union_graphs(hubs, mega, core)
+
+
+_P = PaperStats
+
+#: The 20 datasets of Table I, in the paper's ascending-|E| order.
+DATASETS: Dict[str, DatasetSpec] = {}
+
+
+def _register(
+    name: str, category: str, paper: PaperStats, builder: Callable[[], CSRGraph]
+) -> None:
+    DATASETS[name] = DatasetSpec(name, category, paper, builder)
+
+
+_register(
+    "amazon0601", "Co-purchasing",
+    _P(403_394, 3_387_388, 16.8, 15, 2_752, 10),
+    lambda: gen.erdos_renyi(1_500, avg_degree=16.0, seed=101),
+)
+_register(
+    "wiki-Talk", "Communication",
+    _P(2_394_385, 5_021_410, 4.2, 103, 100_029, 131),
+    lambda: gen.union_graphs(
+        gen.hub_and_spokes(6_000, num_hubs=3, hub_degree_fraction=0.4,
+                           tail_degree=1.6, seed=102),
+        gen.planted_core(6_000, core_size=140, core_degree=34,
+                         background_degree=0.0, seed=103),
+    ),
+)
+_register(
+    "web-Google", "Web Graph",
+    _P(875_713, 5_105_039, 11.7, 39, 6_332, 44),
+    lambda: _skewed_web(2_500, rmat_scale=11, edge_factor=5.0,
+                        core_size=90, core_degree=18, seed=104),
+)
+_register(
+    "web-BerkStan", "Web Graph",
+    _P(685_230, 7_600_595, 22.2, 285, 84_230, 201),
+    lambda: _skewed_web(2_200, rmat_scale=11, edge_factor=8.0,
+                        core_size=120, core_degree=40, seed=105),
+)
+_register(
+    "as-Skitter", "Internet Topology",
+    _P(1_696_415, 11_095_298, 13.1, 137, 35_455, 111),
+    lambda: gen.union_graphs(
+        gen.power_law_configuration(4_500, exponent=2.2, d_min=2,
+                                    d_max=900, seed=106),
+        gen.planted_core(4_500, core_size=110, core_degree=28,
+                         background_degree=0.0, seed=107),
+    ),
+)
+_register(
+    "patentcite", "Citation Network",
+    _P(3_774_768, 16_518_948, 8.8, 10, 793, 64),
+    lambda: gen.union_graphs(
+        gen.erdos_renyi(8_000, avg_degree=8.0, seed=108),
+        gen.planted_core(8_000, core_size=160, core_degree=22,
+                         background_degree=0.0, seed=109),
+    ),
+)
+_register(
+    "in-2004", "Web Graph",
+    _P(1_382_908, 16_917_053, 24.5, 147, 21_869, 488),
+    lambda: _skewed_web(3_500, rmat_scale=11, edge_factor=14.0,
+                        core_size=200, core_degree=58, seed=110),
+)
+_register(
+    "dblp-author", "Collaboration",
+    _P(5_624_219, 24_564_102, 8.7, 11, 1_389, 14),
+    lambda: gen.barabasi_albert(12_000, attach=4, seed=111),
+)
+_register(
+    "wb-edu", "Web Graph",
+    _P(9_845_725, 57_156_537, 11.6, 49, 25_781, 448),
+    lambda: _skewed_web(16_000, rmat_scale=13, edge_factor=4.0,
+                        core_size=220, core_degree=52, seed=112),
+)
+_register(
+    "soc-LiveJournal1", "Social Network",
+    _P(4_847_571, 68_993_773, 28.5, 52, 20_333, 372),
+    lambda: _social(6_000, attach=12, core_size=190, core_degree=46,
+                    seed=113),
+)
+_register(
+    "wikipedia-link-de", "Web Graph",
+    _P(3_603_726, 96_865_851, 53.8, 498, 434_234, 837),
+    lambda: _skewed_web(4_000, rmat_scale=12, edge_factor=23.0,
+                        core_size=240, core_degree=66, seed=114),
+)
+_register(
+    "hollywood-2009", "Collaboration",
+    _P(1_139_905, 113_891_327, 199.8, 272, 11_467, 2_208),
+    lambda: gen.union_graphs(
+        gen.erdos_renyi(1_800, avg_degree=85.0, seed=115),
+        gen.planted_core(1_800, core_size=260, core_degree=95,
+                         background_degree=0.0, seed=116),
+    ),
+)
+_register(
+    "com-Orkut", "Social Network",
+    _P(3_072_441, 117_185_083, 76.3, 155, 33_313, 253),
+    lambda: _social(3_600, attach=30, core_size=180, core_degree=48,
+                    seed=117),
+)
+_register(
+    "trackers", "Web Graph",
+    _P(27_665_730, 140_613_762, 10.2, 2_774, 11_571_953, 438),
+    lambda: _tracker(22_000, seed=118),
+)
+_register(
+    "indochina-2004", "Web Graph",
+    _P(7_414_866, 194_109_311, 52.4, 391, 256_425, 6_869),
+    lambda: _skewed_web(5_500, rmat_scale=12, edge_factor=31.0,
+                        core_size=360, core_degree=120, seed=119),
+)
+_register(
+    "uk-2002", "Web Graph",
+    _P(18_520_486, 298_113_762, 32.2, 145, 194_955, 943),
+    lambda: _skewed_web(12_000, rmat_scale=13, edge_factor=15.0,
+                        core_size=260, core_degree=68, seed=120),
+)
+_register(
+    "arabic-2005", "Web Graph",
+    _P(22_744_080, 639_999_458, 56.3, 555, 575_628, 3_247),
+    lambda: _skewed_web(9_000, rmat_scale=13, edge_factor=20.0,
+                        core_size=330, core_degree=92, seed=121),
+)
+_register(
+    "uk-2005", "Web Graph",
+    _P(39_459_925, 936_364_282, 47.5, 1_536, 1_776_858, 588),
+    lambda: gen.union_graphs(
+        _skewed_web(16_000, rmat_scale=13, edge_factor=20.0,
+                    core_size=230, core_degree=56, seed=122),
+        gen.hub_and_spokes(16_000, num_hubs=2, hub_degree_fraction=0.35,
+                           tail_degree=0.0, seed=123),
+    ),
+)
+_register(
+    "webbase-2001", "Web Graph",
+    _P(118_142_155, 1_019_903_190, 17.3, 76, 263_176, 1_506),
+    lambda: _skewed_web(36_000, rmat_scale=14, edge_factor=9.5,
+                        core_size=300, core_degree=74, seed=124),
+)
+_register(
+    "it-2004", "Web Graph",
+    _P(41_291_594, 1_150_725_436, 55.7, 883, 1_326_744, 3_224),
+    lambda: _skewed_web(11_000, rmat_scale=13, edge_factor=28.0,
+                        core_size=340, core_degree=88, seed=125),
+)
+
+
+def dataset_names() -> Tuple[str, ...]:
+    """All registered dataset names, in the paper's Table I order."""
+    return tuple(DATASETS)
+
+
+def small_dataset_names(limit: int = 8) -> Tuple[str, ...]:
+    """The ``limit`` smallest analogues (by generated edge count proxy:
+    registry order, which follows the paper's ascending-|E| order)."""
+    return tuple(DATASETS)[:limit]
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Dataset spec by name; raises :class:`UnknownDatasetError`."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise UnknownDatasetError(
+            f"unknown dataset {name!r}; known: {', '.join(DATASETS)}"
+        ) from None
+
+
+@lru_cache(maxsize=None)
+def load(name: str) -> CSRGraph:
+    """Generate (and cache) the synthetic analogue for ``name``."""
+    return get_spec(name).build()
+
+
+def load_real(name: str, directory: str | Path) -> CSRGraph:
+    """Load the *real* dataset from ``directory/<name>.txt[.gz]``.
+
+    For users who have downloaded the original SNAP/KONECT files; the
+    registry itself never touches the network.
+    """
+    get_spec(name)  # validate the name
+    directory = Path(directory)
+    for suffix in (".txt", ".txt.gz", ".edges", ".edges.gz"):
+        candidate = directory / f"{name}{suffix}"
+        if candidate.exists():
+            return read_edgelist(candidate)
+    raise FileNotFoundError(
+        f"no edge-list file for {name!r} under {directory}"
+    )

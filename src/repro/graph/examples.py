@@ -1,0 +1,75 @@
+"""Small didactic graphs with known ground truth.
+
+``fig1_graph`` reconstructs the structure of the paper's Fig. 1 — a
+graph whose 1-, 2- and 3-shells are all non-empty and where a vertex
+(``A``) has degree 3 yet core number 2 because its neighbor ``B`` cannot
+survive into the 3-core.  These graphs anchor the unit tests and the
+quickstart example.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["fig1_graph", "FIG1_NAMES", "triangle", "k_clique", "path_graph"]
+
+#: Human-readable vertex names for :func:`fig1_graph`, index-aligned.
+FIG1_NAMES: Tuple[str, ...] = (
+    "R1", "R2", "R3", "R4",  # red: the 3-core (a K4)
+    "A", "B",                 # yellow: A has degree 3 but core 2
+    "Y1", "Y2", "Y3",         # yellow: a triangle in the 2-shell
+    "G1", "G2", "G3",         # green: degree-1 leaves, the 1-shell
+)
+
+
+def fig1_graph() -> Tuple[CSRGraph, Dict[int, int]]:
+    """The Fig. 1 style example and its expected core numbers.
+
+    Returns ``(graph, expected)`` where ``expected[v]`` is the core
+    number of vertex ``v``.  Vertices 0-3 form a ``K4`` (core 3);
+    vertex 4 (``A``) has degree exactly 3 — neighbors ``B``, ``R1``,
+    ``R2`` — but core number 2, exactly as in the paper's running
+    example (B cannot survive into the 3-core, so neither can A);
+    vertex 5 (``B``) has degree 2; vertices 6-8 are a triangle (core 2);
+    vertices 9-11 are leaves (core 1).
+    """
+    r1, r2, r3, r4, a, b, y1, y2, y3, g1, g2, g3 = range(12)
+    edges = [
+        # K4 on the red vertices: the 3-core
+        (r1, r2), (r1, r3), (r1, r4), (r2, r3), (r2, r4), (r3, r4),
+        # A touches the 3-core twice plus B, so deg(A) = 3 but core(A) = 2
+        (a, r1), (a, r2), (a, b),
+        # B bridges A to the core with degree 2
+        (b, r3),
+        # a yellow triangle: core 2
+        (y1, y2), (y2, y3), (y1, y3),
+        # green leaves: core 1
+        (g1, y1), (g2, r4), (g3, y3),
+    ]
+    graph = CSRGraph.from_edges(edges, num_vertices=12)
+    expected = {
+        r1: 3, r2: 3, r3: 3, r4: 3,
+        a: 2, b: 2, y1: 2, y2: 2, y3: 2,
+        g1: 1, g2: 1, g3: 1,
+    }
+    return graph, expected
+
+
+def triangle() -> CSRGraph:
+    """K3 — every vertex has core number 2."""
+    return CSRGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+
+
+def k_clique(k: int) -> CSRGraph:
+    """Complete graph on ``k`` vertices — every core number is ``k - 1``."""
+    edges = [(i, j) for i in range(k) for j in range(i + 1, k)]
+    return CSRGraph.from_edges(edges, num_vertices=k)
+
+
+def path_graph(n: int) -> CSRGraph:
+    """Path on ``n`` vertices — every core number is 1 (0 if ``n == 1``)."""
+    if n <= 1:
+        return CSRGraph.empty(n)
+    return CSRGraph.from_edges([(i, i + 1) for i in range(n - 1)])

@@ -1,0 +1,82 @@
+"""Vertex-ID recoding (densification).
+
+The paper assumes densely indexed vertex IDs and points to ID recoding
+as the preprocessing step when they are not (Section IV, citing Blogel).
+This module provides that step for arbitrary hashable labels and for
+sparse integer IDs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["IdRecoder", "recode_ids", "recode_edge_array"]
+
+
+class IdRecoder:
+    """Bidirectional mapping between arbitrary labels and dense IDs.
+
+    Labels are assigned dense IDs ``0, 1, 2, ...`` in first-seen order,
+    which keeps the mapping deterministic for a given input order.
+    """
+
+    def __init__(self) -> None:
+        self._to_dense: Dict[Hashable, int] = {}
+        self._to_label: List[Hashable] = []
+
+    def __len__(self) -> int:
+        return len(self._to_label)
+
+    def encode(self, label: Hashable) -> int:
+        """Dense ID for ``label``, assigning a fresh one on first sight."""
+        dense = self._to_dense.get(label)
+        if dense is None:
+            dense = len(self._to_label)
+            self._to_dense[label] = dense
+            self._to_label.append(label)
+        return dense
+
+    def decode(self, dense: int) -> Hashable:
+        """Original label for a dense ID."""
+        return self._to_label[dense]
+
+    def decode_many(self, dense_ids: Iterable[int]) -> List[Hashable]:
+        """Original labels for a sequence of dense IDs."""
+        return [self._to_label[i] for i in dense_ids]
+
+    @property
+    def labels(self) -> Sequence[Hashable]:
+        """All labels in dense-ID order (read-only)."""
+        return tuple(self._to_label)
+
+
+def recode_ids(
+    edges: Iterable[Tuple[Hashable, Hashable]],
+) -> Tuple[np.ndarray, IdRecoder]:
+    """Recode labelled edges to a dense ``(m, 2)`` int64 edge array.
+
+    Returns the edge array plus the :class:`IdRecoder` needed to map
+    results (e.g. core numbers) back to the original labels.
+    """
+    recoder = IdRecoder()
+    encoded = [(recoder.encode(u), recoder.encode(v)) for u, v in edges]
+    if not encoded:
+        return np.empty((0, 2), dtype=np.int64), recoder
+    return np.asarray(encoded, dtype=np.int64), recoder
+
+
+def recode_edge_array(edges: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Densify a sparse *integer* edge array.
+
+    Returns ``(dense_edges, original_ids)`` where ``original_ids[d]`` is
+    the original ID of dense vertex ``d``.  IDs keep their relative
+    order, so results stay reproducible regardless of edge order.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.size == 0:
+        return edges.reshape(0, 2), np.empty(0, dtype=np.int64)
+    original_ids = np.unique(edges)
+    dense = np.searchsorted(original_ids, edges)
+    return dense, original_ids

@@ -1,0 +1,6 @@
+"""Simulated shared-memory multicore for the CPU-parallel baselines."""
+
+from repro.multicore.costmodel import CpuCostModel
+from repro.multicore.machine import SimulatedMulticore
+
+__all__ = ["CpuCostModel", "SimulatedMulticore"]

@@ -1,0 +1,42 @@
+"""Cost model for the simulated shared-memory multicore.
+
+Stands in for the paper's CPU server (two Xeon E5-2680 v4, 48 threads,
+256 GB RAM).  Like the GPU cost model, it maps counted events — simple
+operations, atomics, barrier synchronisations — to simulated time, and
+its constants encode the findings Table IV turns on: parallel CPU
+programs are *far* from 48x speedup because of synchronisation
+overhead, atomic contention and load imbalance (the imbalance emerges
+from the per-thread op counts themselves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CpuCostModel"]
+
+
+@dataclass(frozen=True)
+class CpuCostModel:
+    """Constants of the simulated multicore."""
+
+    #: worker threads (the paper's server exposes 48)
+    threads: int = 48
+    #: nanoseconds per simple compiled operation (array access,
+    #: compare, increment)
+    op_ns: float = 6.0
+    #: extra nanoseconds per atomic read-modify-write
+    atomic_ns: float = 18.0
+    #: microseconds per barrier synchronisation of the thread pool
+    sync_us: float = 2.0
+    #: nanoseconds per *interpreted* Python operation — the NetworkX
+    #: penalty of Table IV (pure-Python dict/loop machinery)
+    python_op_ns: float = 450.0
+
+    def serial_ms(self, ops: float, atomics: float = 0.0) -> float:
+        """Single-thread time for a compiled program."""
+        return (ops * self.op_ns + atomics * self.atomic_ns) / 1e6
+
+    def python_ms(self, ops: float) -> float:
+        """Single-thread time for an interpreted (NetworkX-like) program."""
+        return ops * self.python_op_ns / 1e6

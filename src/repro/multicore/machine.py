@@ -1,0 +1,72 @@
+"""Deterministic simulated shared-memory multicore.
+
+CPU-parallel baselines (ParK, PKC, MPM) are *executed* sequentially for
+determinism, but their work is attributed to simulated threads: each
+algorithm tells the machine how many operations each thread performed
+between barriers, and the machine charges each epoch the *maximum*
+per-thread cost (the straggler) plus a synchronisation fee.  Load
+imbalance, atomic contention and sync overhead — the reasons the
+paper's CPU programs fall far short of 48x speedup — thus emerge from
+the recorded counts rather than from nondeterministic real threading
+(which the GIL would distort anyway).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.multicore.costmodel import CpuCostModel
+
+__all__ = ["SimulatedMulticore"]
+
+
+class SimulatedMulticore:
+    """Per-thread op accounting with barrier-delimited epochs."""
+
+    def __init__(self, cost: CpuCostModel | None = None, threads: int | None = None):
+        self.cost = cost or CpuCostModel()
+        self.threads = threads if threads is not None else self.cost.threads
+        self._epoch_ops = np.zeros(self.threads, dtype=np.float64)
+        self._epoch_atomics = np.zeros(self.threads, dtype=np.float64)
+        self.elapsed_ms = 0.0
+        self.barriers = 0
+        self.total_ops = 0.0
+        self.total_atomics = 0.0
+
+    def add_ops(self, thread: int, count: float) -> None:
+        """Record ``count`` simple operations performed by ``thread``."""
+        self._epoch_ops[thread] += count
+        self.total_ops += count
+
+    def add_atomics(self, thread: int, count: float) -> None:
+        """Record ``count`` atomic read-modify-writes by ``thread``."""
+        self._epoch_atomics[thread] += count
+        self.total_atomics += count
+
+    def spread_ops(self, count: float) -> None:
+        """Record ``count`` operations divided evenly over all threads
+        (for perfectly balanced phases like array initialisation)."""
+        self._epoch_ops += count / self.threads
+        self.total_ops += count
+
+    def barrier(self) -> None:
+        """Close the epoch: charge the straggler thread plus sync fee."""
+        epoch_ns = float(
+            (self._epoch_ops * self.cost.op_ns
+             + self._epoch_atomics * self.cost.atomic_ns).max()
+        ) if self.threads else 0.0
+        self.elapsed_ms += epoch_ns / 1e6 + self.cost.sync_us / 1e3
+        self.barriers += 1
+        self._epoch_ops[:] = 0.0
+        self._epoch_atomics[:] = 0.0
+
+    def finish(self) -> float:
+        """Flush any open epoch (without a sync fee) and return total ms."""
+        epoch_ns = float(
+            (self._epoch_ops * self.cost.op_ns
+             + self._epoch_atomics * self.cost.atomic_ns).max()
+        ) if self.threads else 0.0
+        self.elapsed_ms += epoch_ns / 1e6
+        self._epoch_ops[:] = 0.0
+        self._epoch_atomics[:] = 0.0
+        return self.elapsed_ms

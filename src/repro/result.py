@@ -1,0 +1,81 @@
+"""Common result type returned by every k-core decomposition program.
+
+Every algorithm in this repository — the simulated-GPU peeling kernels,
+the CPU baselines, and the graph-parallel system emulations — returns a
+:class:`DecompositionResult` so that the benchmark harness can compare
+them uniformly (simulated milliseconds, peak memory, and of course the
+core numbers themselves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DecompositionResult:
+    """Outcome of one k-core decomposition run.
+
+    Attributes:
+        core: ``int64`` array of length ``|V|``; ``core[v]`` is the core
+            number of vertex ``v``.
+        algorithm: registry name of the program that produced the result
+            (e.g. ``"gpu-ours"``, ``"bz"``, ``"gunrock"``).
+        simulated_ms: simulated wall-clock time in milliseconds under the
+            program's cost model.  ``0.0`` for programs that do not model
+            time.
+        peak_memory_bytes: peak (simulated device or modelled host)
+            memory in bytes.  ``0`` when not modelled.
+        rounds: number of peel rounds (``k_max + 1``) or h-index
+            iterations the program executed.
+        stats: free-form per-program counters (kernel launches, atomic
+            ops, memory transactions, ...), for ablation reporting.
+    """
+
+    core: np.ndarray
+    algorithm: str
+    simulated_ms: float = 0.0
+    peak_memory_bytes: int = 0
+    rounds: int = 0
+    stats: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        core = np.asarray(self.core, dtype=np.int64)
+        object.__setattr__(self, "core", core)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices the decomposition covers."""
+        return int(self.core.shape[0])
+
+    @property
+    def kmax(self) -> int:
+        """Largest core number (the graph's degeneracy); 0 if empty."""
+        if self.core.size == 0:
+            return 0
+        return int(self.core.max())
+
+    def core_number_of(self, vertex: int) -> int:
+        """Core number of a single vertex."""
+        return int(self.core[vertex])
+
+    def shell(self, k: int) -> np.ndarray:
+        """Vertices whose core number is exactly ``k`` (the *k-shell*)."""
+        return np.flatnonzero(self.core == k)
+
+    def core_vertices(self, k: int) -> np.ndarray:
+        """Vertices whose core number is at least ``k`` (the *k-core*)."""
+        return np.flatnonzero(self.core >= k)
+
+    def shell_sizes(self) -> np.ndarray:
+        """Array of length ``kmax + 1`` with the size of each shell."""
+        if self.core.size == 0:
+            return np.zeros(1, dtype=np.int64)
+        return np.bincount(self.core, minlength=self.kmax + 1).astype(np.int64)
+
+    def agrees_with(self, other: "DecompositionResult") -> bool:
+        """True when both results assign identical core numbers."""
+        return bool(np.array_equal(self.core, other.core))

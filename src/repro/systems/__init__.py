@@ -1,0 +1,16 @@
+"""Graph-parallel GPU system emulations: Medusa, Gunrock, GSWITCH, VETGA."""
+
+from repro.systems.base import DEFAULT_TUNING, SystemTuning
+from repro.systems.gswitch import gswitch_decompose
+from repro.systems.gunrock import gunrock_decompose
+from repro.systems.medusa import medusa_decompose
+from repro.systems.vetga import vetga_decompose
+
+__all__ = [
+    "DEFAULT_TUNING",
+    "SystemTuning",
+    "gswitch_decompose",
+    "gunrock_decompose",
+    "medusa_decompose",
+    "vetga_decompose",
+]

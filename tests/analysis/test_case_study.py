@@ -1,0 +1,89 @@
+"""Fig. 10 case-study tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.case_study import (
+    author_interaction_snapshot,
+    compare_snapshots,
+    synthesize_citation_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return synthesize_citation_corpus(
+        num_authors=300, start_year=1984, end_year=2000,
+        papers_per_year=60, era_split=1993, seed=5,
+    )
+
+
+def test_corpus_deterministic():
+    a = synthesize_citation_corpus(num_authors=100, papers_per_year=20, seed=1)
+    b = synthesize_citation_corpus(num_authors=100, papers_per_year=20, seed=1)
+    assert a == b
+
+
+def test_papers_cite_only_earlier_papers(corpus):
+    by_id = {p.paper_id: p for p in corpus.papers}
+    for paper in corpus.papers:
+        for cited in paper.cites:
+            assert by_id[cited].year <= paper.year
+            assert cited < paper.paper_id
+
+
+def test_author_names_unique(corpus):
+    assert len(set(corpus.author_names)) == corpus.num_authors
+
+
+def test_snapshot_grows_with_year(corpus):
+    g1, _ = author_interaction_snapshot(corpus, 1990)
+    g2, _ = author_interaction_snapshot(corpus, 2000)
+    assert g2.num_edges > g1.num_edges
+
+
+def test_snapshot_excludes_future_papers(corpus):
+    g_empty, _ = author_interaction_snapshot(corpus, 1900)
+    assert g_empty.num_vertices == 0
+
+
+def test_cores_monotone_across_snapshots(corpus):
+    """Edges only accumulate, so a vertex's core number can only grow
+    from one snapshot to the next."""
+    from repro.core.fastpath import peel_fast
+
+    g1, r1 = author_interaction_snapshot(corpus, 1992)
+    g2, r2 = author_interaction_snapshot(corpus, 2000)
+    core1 = peel_fast(g1)
+    core2 = peel_fast(g2)
+    label2 = {r2.decode(i): core2[i] for i in range(g2.num_vertices)}
+    for dense1 in range(g1.num_vertices):
+        author = r1.decode(dense1)
+        assert label2[author] >= core1[dense1]
+
+
+def test_fig10_set_algebra(corpus):
+    result = compare_snapshots(corpus, 1992, 2000)
+    # the three Fig. 10 regions are all non-empty
+    assert result.persistent, "no authors active in both eras"
+    assert result.emerged, "no newly most-active authors"
+    assert result.dropped, "no authors fell out of the core"
+    # the later, denser snapshot has the deeper core
+    assert result.kmax2 > result.kmax1
+    # set identities
+    assert result.persistent | result.dropped == result.core1
+    assert result.persistent | result.emerged == result.core2
+
+
+def test_summary_text(corpus):
+    result = compare_snapshots(corpus, 1992, 2000)
+    text = result.summary()
+    assert "S1 n S2" in text
+    assert str(result.kmax1) in text
+    assert f"<= {result.year2}" in text
+
+
+def test_default_corpus_reproduces_fig10_shape():
+    corpus = synthesize_citation_corpus()
+    result = compare_snapshots(corpus, 1992, 2000)
+    assert result.dropped and result.emerged and result.persistent

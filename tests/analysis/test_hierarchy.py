@@ -1,0 +1,97 @@
+"""Hierarchical core decomposition tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.hierarchy import build_core_hierarchy
+from repro.analysis.shells import k_core_components
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+
+
+def test_fig1_hierarchy(fig1):
+    graph, _ = fig1
+    h = build_core_hierarchy(graph)
+    # the K4 is the deepest component of vertex 0
+    best = h.best_component_of(0)
+    assert best.k == 3
+    assert best.size == 4
+
+
+def test_children_nested_in_parents(er_graph):
+    graph, _ = er_graph
+    h = build_core_hierarchy(graph)
+    for node in h.nodes.values():
+        for child_id in node.children:
+            child = h.nodes[child_id]
+            assert child.k > node.k
+            assert set(child.vertices).issubset(set(node.vertices))
+
+
+def test_roots_cover_all_vertices(er_graph):
+    graph, _ = er_graph
+    h = build_core_hierarchy(graph)
+    covered = set()
+    for root_id in h.roots:
+        covered |= set(h.nodes[root_id].vertices.tolist())
+    assert covered == set(range(graph.num_vertices))
+
+
+def test_component_of_matches_direct_computation(fig1):
+    graph, _ = fig1
+    h = build_core_hierarchy(graph)
+    for k in (1, 2, 3):
+        comps = k_core_components(graph, k)
+        for comp in comps:
+            v = int(comp[0])
+            node = h.component_of(v, k)
+            assert node is not None
+            assert set(node.vertices.tolist()) == set(comp.tolist())
+
+
+def test_component_of_below_core_number_is_none(fig1):
+    graph, _ = fig1
+    h = build_core_hierarchy(graph)
+    leaf = 9  # G1: core 1
+    assert h.component_of(leaf, 2) is None
+
+
+def test_two_separate_cores_two_leaves():
+    """Two K4s joined through a degree-2 relay: separate 3-core
+    components that merge into one component at k <= 2."""
+    k4a = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+    k4b = [(i + 4, j + 4) for i in range(4) for j in range(i + 1, 4)]
+    relay = [(0, 8), (8, 4)]
+    graph = CSRGraph.from_edges(k4a + k4b + relay)
+    h = build_core_hierarchy(graph)
+    threes = h.components_at(3)
+    assert len(threes) == 2
+    # they merge into one component at k <= 2 through the relay
+    merged = h.component_of(0, 2)
+    assert merged.size == 9
+
+
+def test_empty_graph():
+    h = build_core_hierarchy(CSRGraph.empty(0))
+    assert h.num_nodes == 0
+
+
+def test_single_level_graph():
+    g = gen.random_tree(30, seed=2)
+    h = build_core_hierarchy(g)
+    # a tree: every vertex core 1; one component at k=1 (and k=0)
+    best = h.best_component_of(0)
+    assert best.k == 1
+    assert best.size == 30
+
+
+def test_matches_components_on_random_graph(er_graph):
+    graph, core = er_graph
+    h = build_core_hierarchy(graph, core)
+    kmax = int(core.max())
+    direct = k_core_components(graph, kmax, core)
+    via_hierarchy = {
+        frozenset(h.component_of(int(c[0]), kmax).vertices.tolist())
+        for c in direct
+    }
+    assert via_hierarchy == {frozenset(c.tolist()) for c in direct}

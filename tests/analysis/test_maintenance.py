@@ -1,0 +1,139 @@
+"""Incremental core-maintenance tests (validated against full BZ)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.maintenance import DynamicCoreMaintainer
+from repro.cpu.bz import bz_core_numbers
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+from repro.graph.examples import fig1_graph
+
+
+def check_against_recompute(maintainer: DynamicCoreMaintainer):
+    fresh = bz_core_numbers(maintainer.to_graph())
+    assert np.array_equal(maintainer.core_numbers(), fresh)
+
+
+class TestInsertion:
+    def test_single_insert_into_fig1(self):
+        graph, _ = fig1_graph()
+        m = DynamicCoreMaintainer(graph)
+        # connect B (vertex 5) to R4 (vertex 3): B gains degree -> the
+        # A/B pair may now join the 3-core
+        m.insert_edge(5, 3)
+        check_against_recompute(m)
+
+    def test_insert_existing_edge_is_noop(self):
+        graph, _ = fig1_graph()
+        m = DynamicCoreMaintainer(graph)
+        before = m.core_numbers()
+        assert m.insert_edge(0, 1) == ()
+        assert np.array_equal(m.core_numbers(), before)
+
+    def test_self_loop_is_noop(self):
+        m = DynamicCoreMaintainer(num_vertices=3)
+        assert m.insert_edge(1, 1) == ()
+
+    def test_insert_grows_vertex_set(self):
+        m = DynamicCoreMaintainer(num_vertices=2)
+        m.insert_edge(0, 5)
+        assert m.num_vertices == 6
+        assert m.core_of(5) == 1
+
+    def test_core_rises_by_at_most_one(self):
+        graph = gen.erdos_renyi(120, 5.0, seed=4)
+        m = DynamicCoreMaintainer(graph)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            u, v = rng.integers(0, 120, size=2)
+            before = m.core_numbers()
+            changed = m.insert_edge(int(u), int(v))
+            after = m.core_numbers()
+            assert ((after - before)[list(changed)] == 1).all()
+            assert (after >= before).all()
+
+    def test_build_graph_from_scratch(self):
+        """Insert the Fig. 1 graph edge by edge; final cores match."""
+        graph, expected = fig1_graph()
+        m = DynamicCoreMaintainer(num_vertices=graph.num_vertices)
+        for u, v in graph.edges():
+            m.insert_edge(u, v)
+            check_against_recompute(m)
+        for vertex, core in expected.items():
+            assert m.core_of(vertex) == core
+
+    def test_random_insert_stream(self):
+        rng = np.random.default_rng(11)
+        m = DynamicCoreMaintainer(num_vertices=40)
+        for _ in range(120):
+            u, v = rng.integers(0, 40, size=2)
+            if u != v:
+                m.insert_edge(int(u), int(v))
+        check_against_recompute(m)
+
+
+class TestDeletion:
+    def test_single_delete_from_fig1(self):
+        graph, _ = fig1_graph()
+        m = DynamicCoreMaintainer(graph)
+        m.remove_edge(0, 1)  # break the K4
+        check_against_recompute(m)
+
+    def test_delete_absent_edge_raises(self):
+        graph, _ = fig1_graph()
+        m = DynamicCoreMaintainer(graph)
+        with pytest.raises(KeyError):
+            m.remove_edge(0, 9)
+
+    def test_core_falls_by_at_most_one(self):
+        graph = gen.erdos_renyi(120, 6.0, seed=5)
+        m = DynamicCoreMaintainer(graph)
+        rng = np.random.default_rng(1)
+        edges = list(graph.edges())
+        rng.shuffle(edges)
+        for u, v in edges[:30]:
+            before = m.core_numbers()
+            changed = m.remove_edge(u, v)
+            after = m.core_numbers()
+            assert ((before - after)[list(changed)] == 1).all()
+            assert (after <= before).all()
+
+    def test_dismantle_entirely(self):
+        graph = gen.ring_of_cliques(2, 4)
+        m = DynamicCoreMaintainer(graph)
+        for u, v in list(graph.edges()):
+            m.remove_edge(u, v)
+            check_against_recompute(m)
+        assert (m.core_numbers() == 0).all()
+
+
+class TestMixedStream:
+    def test_interleaved_inserts_and_deletes(self):
+        rng = np.random.default_rng(2)
+        graph = gen.erdos_renyi(60, 4.0, seed=6)
+        m = DynamicCoreMaintainer(graph)
+        for step in range(150):
+            u, v = map(int, rng.integers(0, 60, size=2))
+            if u == v:
+                continue
+            if m.has_edge(u, v) and rng.random() < 0.5:
+                m.remove_edge(u, v)
+            else:
+                m.insert_edge(u, v)
+            if step % 25 == 0:
+                check_against_recompute(m)
+        check_against_recompute(m)
+
+    def test_insert_then_delete_roundtrip(self):
+        graph = gen.planted_core(80, 20, 6, seed=7)
+        m = DynamicCoreMaintainer(graph)
+        before = m.core_numbers()
+        m.insert_edge(0, 79)
+        m.remove_edge(0, 79)
+        assert np.array_equal(m.core_numbers(), before)
+
+    def test_snapshot_is_csr(self):
+        graph, _ = fig1_graph()
+        m = DynamicCoreMaintainer(graph)
+        assert m.to_graph() == graph

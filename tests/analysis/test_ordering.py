@@ -1,0 +1,71 @@
+"""Degeneracy-ordering application tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ordering import prune_for_clique_size, smallest_last_coloring
+from repro.analysis.shells import degeneracy
+from repro.graph import generators as gen
+from repro.graph.examples import k_clique
+
+
+def _is_proper(graph, colors):
+    return all(colors[u] != colors[v] for u, v in graph.edges())
+
+
+def test_coloring_is_proper(er_graph):
+    graph, _ = er_graph
+    colors = smallest_last_coloring(graph)
+    assert _is_proper(graph, colors)
+
+
+def test_coloring_uses_at_most_degeneracy_plus_one(er_graph):
+    graph, _ = er_graph
+    colors = smallest_last_coloring(graph)
+    assert colors.max() + 1 <= degeneracy(graph) + 1
+
+
+def test_clique_needs_exactly_k_colors():
+    g = k_clique(6)
+    colors = smallest_last_coloring(g)
+    assert colors.max() + 1 == 6
+
+
+def test_bipartite_needs_two():
+    g = gen.grid_2d(4, 4)
+    colors = smallest_last_coloring(g)
+    assert _is_proper(g, colors)
+    assert colors.max() + 1 <= 3  # grids are 2-colorable; bound allows 3
+
+
+def test_prune_keeps_all_clique_vertices():
+    """Soundness: no vertex of an actual q-clique may be pruned."""
+    from repro.graph.generators import union_graphs
+    from repro.graph.csr import CSRGraph
+
+    clique = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+    tail = [(4 + i, 5 + i) for i in range(20)]
+    graph = CSRGraph.from_edges(clique + tail)
+    kept = set(prune_for_clique_size(graph, 5).tolist())
+    assert set(range(5)).issubset(kept)
+
+
+def test_prune_removes_shallow_vertices():
+    from repro.graph.csr import CSRGraph
+
+    clique = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+    graph = CSRGraph.from_edges(clique + [(0, 10), (10, 11)])
+    kept = prune_for_clique_size(graph, 4)
+    assert 10 not in kept
+    assert 11 not in kept
+
+
+def test_prune_accepts_precomputed_core(fig1):
+    graph, _ = fig1
+    from repro.core.fastpath import peel_fast
+
+    core = peel_fast(graph)
+    a = prune_for_clique_size(graph, 4, core=core)
+    b = prune_for_clique_size(graph, 4)
+    assert np.array_equal(a, b)
+    assert set(a.tolist()) == {0, 1, 2, 3}

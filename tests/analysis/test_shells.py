@@ -1,0 +1,101 @@
+"""Shell/core extraction tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.shells import (
+    degeneracy,
+    k_core_components,
+    k_core_subgraph,
+    k_core_vertices,
+    k_shell,
+    shell_sizes,
+)
+from repro.graph import generators as gen
+
+
+def test_fig1_shells(fig1):
+    graph, expected = fig1
+    assert set(k_shell(graph, 3).tolist()) == {
+        v for v, c in expected.items() if c == 3
+    }
+    assert k_shell(graph, 1).size == 3
+
+
+def test_shells_partition_vertices(er_graph):
+    graph, core = er_graph
+    total = sum(
+        k_shell(graph, k, core).size for k in range(int(core.max()) + 1)
+    )
+    assert total == graph.num_vertices
+
+
+def test_k_core_is_union_of_deeper_shells(fig1):
+    graph, _ = fig1
+    two_core = set(k_core_vertices(graph, 2).tolist())
+    assert two_core == set(k_shell(graph, 2)) | set(k_shell(graph, 3))
+
+
+def test_k_core_subgraph_min_degree(er_graph):
+    """The defining property: every vertex of the k-core has degree
+    >= k *within* the k-core."""
+    graph, core = er_graph
+    for k in (1, 2, int(core.max())):
+        sub, _ = k_core_subgraph(graph, k, core)
+        if sub.num_vertices:
+            assert sub.degrees.min() >= k
+
+
+def test_k_core_subgraph_vertex_map(fig1):
+    graph, expected = fig1
+    sub, vmap = k_core_subgraph(graph, 3)
+    assert set(vmap.tolist()) == {v for v, c in expected.items() if c == 3}
+    assert sub.num_edges == 6  # the K4
+
+
+def test_components_of_disconnected_core():
+    """Two K4s joined through a low-core relay vertex: connected as a
+    graph, but the 3-core splits into two components because the relay
+    (core 2) is excluded from the induced 3-core."""
+    from repro.graph.csr import CSRGraph
+
+    k4a = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+    k4b = [(i + 10, j + 10) for i in range(4) for j in range(i + 1, 4)]
+    relay = [(3, 20), (20, 10)]
+    graph = CSRGraph.from_edges(k4a + k4b + relay)
+    comps = k_core_components(graph, 3)
+    assert len(comps) == 2
+    assert all(len(c) == 4 for c in comps)
+
+
+def test_components_sorted_largest_first():
+    from repro.graph.csr import CSRGraph
+
+    k5 = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+    k3 = [(10, 11), (11, 12), (10, 12)]
+    graph = CSRGraph.from_edges(k5 + k3)
+    comps = k_core_components(graph, 2)
+    assert len(comps[0]) == 5
+    assert len(comps[1]) == 3
+
+
+def test_shell_sizes_sum(er_graph):
+    graph, core = er_graph
+    sizes = shell_sizes(graph, core)
+    assert sizes.sum() == graph.num_vertices
+    assert sizes.size == int(core.max()) + 1
+
+
+def test_degeneracy(fig1):
+    assert degeneracy(fig1[0]) == 3
+
+
+def test_core_argument_validated(fig1):
+    graph, _ = fig1
+    with pytest.raises(ValueError):
+        k_shell(graph, 1, core=np.zeros(3))
+
+
+def test_without_core_argument_computes(fig1):
+    graph, _ = fig1
+    assert k_shell(graph, 3).size == 4

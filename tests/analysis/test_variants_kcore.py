@@ -1,0 +1,103 @@
+"""(k, h)-core and D-core variant tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.variants import d_core, h_hop_degrees, kh_core_numbers
+from repro.cpu.bz import bz_core_numbers
+from repro.graph import generators as gen
+from repro.graph.examples import fig1_graph, k_clique, path_graph
+
+
+class TestHHopDegrees:
+    def test_h1_equals_degree(self, fig1):
+        graph, _ = fig1
+        assert np.array_equal(h_hop_degrees(graph, 1), graph.degrees)
+
+    def test_path_two_hops(self):
+        graph = path_graph(5)
+        # middle vertex reaches everyone within 2 hops
+        assert h_hop_degrees(graph, 2)[2] == 4
+
+    def test_large_h_saturates_at_component_size(self):
+        graph = path_graph(6)
+        degs = h_hop_degrees(graph, 10)
+        assert (degs == 5).all()
+
+    def test_respects_alive_mask(self, fig1):
+        graph, _ = fig1
+        alive = np.ones(graph.num_vertices, dtype=bool)
+        alive[0] = False
+        degs = h_hop_degrees(graph, 1, alive)
+        assert degs[0] == 0
+        assert degs[1] == graph.degree(1) - 1  # lost neighbor 0
+
+
+class TestKHCore:
+    def test_h1_equals_ordinary_cores(self, battery_graph):
+        graph, reference = battery_graph
+        if graph.num_vertices > 200:
+            pytest.skip("quadratic reference check kept small")
+        assert np.array_equal(kh_core_numbers(graph, 1), reference)
+
+    def test_h2_at_least_h1(self, fig1):
+        """Larger h can only grow the h-hop neighborhood."""
+        graph, _ = fig1
+        one = kh_core_numbers(graph, 1)
+        two = kh_core_numbers(graph, 2)
+        assert (two >= one).all()
+
+    def test_path_h2(self):
+        """In a path, inner vertices reach >= 2 within 2 hops."""
+        core = kh_core_numbers(path_graph(8), 2)
+        assert core.max() >= 2
+
+    def test_invalid_h(self, fig1):
+        with pytest.raises(ValueError):
+            kh_core_numbers(fig1[0], 0)
+
+    def test_clique_kh(self):
+        g = k_clique(5)
+        assert (kh_core_numbers(g, 2) == 4).all()
+
+
+class TestDCore:
+    def test_directed_cycle_is_11_core(self):
+        edges = np.array([[0, 1], [1, 2], [2, 0]])
+        assert d_core(edges, 1, 1).tolist() == [0, 1, 2]
+        assert d_core(edges, 2, 1).size == 0
+
+    def test_complete_digraph(self):
+        n = 4
+        edges = np.array([[i, j] for i in range(n) for j in range(n) if i != j])
+        assert d_core(edges, n - 1, n - 1).size == n
+
+    def test_pendant_removed_and_cascades(self):
+        # 0 -> 1 -> 2 -> 0 cycle plus a dangling 3 -> 0
+        edges = np.array([[0, 1], [1, 2], [2, 0], [3, 0]])
+        members = d_core(edges, 1, 1)
+        assert members.tolist() == [0, 1, 2]
+
+    def test_asymmetric_constraints(self):
+        # star out of 0: leaves lack out-edges, so requiring out >= 1
+        # cascades the whole star away
+        star = np.array([[0, i] for i in range(1, 6)])
+        assert d_core(star, 0, 1).size == 0
+        # adding one back-edge keeps the 0 <-> 1 pair alive
+        with_back = np.vstack([star, [[1, 0]]])
+        assert d_core(with_back, 1, 1).tolist() == [0, 1]
+
+    def test_self_loops_ignored(self):
+        edges = np.array([[0, 0], [0, 1], [1, 0]])
+        assert d_core(edges, 1, 1).tolist() == [0, 1]
+
+    def test_empty(self):
+        assert d_core(np.empty((0, 2)), 1, 1, num_vertices=3).size == 0
+
+
+def test_kh_core_monotone_under_h(er_graph):
+    graph, _ = er_graph
+    sub = graph.induced_subgraph(np.arange(60))
+    one = kh_core_numbers(sub, 1)
+    two = kh_core_numbers(sub, 2)
+    assert (two >= one).all()

@@ -1,0 +1,128 @@
+"""Block-buffer addressing tests: plain, ring, and shared-memory modes."""
+
+import numpy as np
+import pytest
+
+from repro.core.buffers import BlockBufferView
+from repro.errors import BufferOverflowError
+from repro.gpusim.context import BlockState, WarpContext
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import Device
+from repro.gpusim.spec import DeviceSpec
+
+
+def make_view(capacity=16, ring=False, shared=0, block_idx=0):
+    spec = DeviceSpec()
+    dev = Device(spec=spec)
+    buf = dev.malloc("buf", spec.default_grid_dim * capacity)
+    block = BlockState(block_idx, 4, spec)
+    ctx = WarpContext(block, 0, spec.default_grid_dim,
+                      spec.default_block_dim, spec, CostModel())
+    view = BlockBufferView(ctx, buf, capacity, ring=ring,
+                           use_shared=shared > 0, shared_capacity=shared)
+    return view, ctx, buf
+
+
+class TestPlainBuffer:
+    def test_write_then_read(self):
+        view, ctx, buf = make_view()
+        view.write(np.array([0, 1, 2]), np.array([7, 8, 9]))
+        assert view.read(1) == 8
+        assert view.read_batch(np.array([0, 2])).tolist() == [7, 9]
+
+    def test_block_offset_isolation(self):
+        """Block 1's logical position 0 is physically after block 0's
+        slice (Fig. 4's partitioning)."""
+        view1, ctx, buf = make_view(capacity=16, block_idx=1)
+        view1.write(np.array([0]), np.array([42]))
+        assert buf.data[16] == 42
+        assert buf.data[0] != 42
+
+    def test_overflow_raises(self):
+        view, ctx, buf = make_view(capacity=4)
+        with pytest.raises(BufferOverflowError):
+            view.write(np.array([4]), np.array([1]))
+
+    def test_overflow_mentions_block(self):
+        view, ctx, buf = make_view(capacity=4, block_idx=2)
+        with pytest.raises(BufferOverflowError) as exc:
+            view.write(np.array([9]), np.array([1]))
+        assert exc.value.block == 2
+
+    def test_read_out_of_capacity_raises(self):
+        view, ctx, buf = make_view(capacity=4)
+        with pytest.raises(BufferOverflowError):
+            view.read(7)
+
+
+class TestRingBuffer:
+    def test_positions_wrap(self):
+        view, ctx, buf = make_view(capacity=4, ring=True)
+        ctx.block.scalars["s"] = 3  # head advanced: slots recyclable
+        view.write(np.array([5]), np.array([99]))  # 5 mod 4 = 1
+        assert buf.data[1] == 99
+        assert view.read(5) == 99
+
+    def test_wraparound_overflow_detected(self):
+        """The tail must not lap the unprocessed head."""
+        view, ctx, buf = make_view(capacity=4, ring=True)
+        ctx.block.scalars["s"] = 0  # nothing consumed yet
+        with pytest.raises(BufferOverflowError):
+            view.write(np.array([4]), np.array([1]))  # would clobber pos 0
+
+    def test_recycling_extends_effective_capacity(self):
+        """With the head advanced, a ring buffer accepts more total
+        appends than its raw capacity — the point of Section IV-C."""
+        view, ctx, buf = make_view(capacity=4, ring=True)
+        for i in range(10):  # 10 appends through a 4-slot buffer
+            ctx.block.scalars["s"] = i  # consume as we go
+            view.write(np.array([i]), np.array([i * 11]))
+            assert view.read(i) == i * 11
+
+
+class TestSharedMemoryBuffer:
+    def test_fig7_translation(self):
+        """The paper's Fig. 7 walk-through: e_init = 6, |B| = 8.
+
+        Position 3 reads buf[3]; position 7 reads B[1]; position 14
+        reads buf[6] (global again, shifted by |B|).
+        """
+        view, ctx, buf = make_view(capacity=16, shared=8)
+        ctx.smem_set("e_init", 6)
+        # scan phase seeded buf[0..5]; appends go to positions 6..13 (B)
+        # then 14+ (global, shifted)
+        view.write(np.arange(6), 100 + np.arange(6))     # seeds: global
+        view.write(np.array([7]), np.array([777]))       # B[1]
+        view.write(np.array([14]), np.array([888]))      # buf[14 - 8] = buf[6]
+        assert view.read(3) == 103
+        assert view.read(7) == 777
+        shared = ctx.smem_array("B", 8)
+        assert shared[1] == 777
+        assert buf.data[6] == 888
+        assert view.read(14) == 888
+
+    def test_wrong_positions_do_not_alias(self):
+        view, ctx, buf = make_view(capacity=16, shared=4)
+        ctx.smem_set("e_init", 2)
+        view.write(np.array([0, 1]), np.array([10, 11]))    # global seeds
+        view.write(np.array([2, 3, 4, 5]), np.array([20, 21, 22, 23]))  # B
+        view.write(np.array([6, 7]), np.array([30, 31]))    # global tail
+        got = view.read_batch(np.arange(8))
+        assert got.tolist() == [10, 11, 20, 21, 22, 23, 30, 31]
+
+    def test_effective_capacity_includes_shared(self):
+        view, ctx, buf = make_view(capacity=4, shared=4)
+        ctx.smem_set("e_init", 0)
+        view.write(np.arange(8), np.arange(8))  # 4 shared + 4 global
+        with pytest.raises(BufferOverflowError):
+            view.write(np.array([8]), np.array([1]))
+
+    def test_translation_charges_instructions(self):
+        """The Fig. 7 case analysis is not free — the reason SM loses
+        the ablation."""
+        plain, pctx, _ = make_view(capacity=16)
+        shared, sctx, _ = make_view(capacity=16, shared=8)
+        sctx.smem_set("e_init", 0)
+        plain.write(np.array([0]), np.array([1]))
+        shared.write(np.array([0]), np.array([1]))
+        assert sctx.issued > pctx.issued

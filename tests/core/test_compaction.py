@@ -1,0 +1,100 @@
+"""Stream-compaction primitive tests (Figs. 8-9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compaction import (
+    block_scan_offsets,
+    hillis_steele_exclusive,
+    warp_compact_ballot,
+    warp_compact_hillis_steele,
+)
+from repro.gpusim.context import BlockState, WarpContext
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.spec import DeviceSpec
+
+
+@pytest.fixture
+def ctx():
+    spec = DeviceSpec()
+    block = BlockState(0, 4, spec)
+    return WarpContext(block, 0, 1, 128, spec, CostModel())
+
+
+class TestReferenceScan:
+    def test_fig8_example(self):
+        """The paper's Fig. 8(a): p = [1,0,0,1,1,1,0,1] gives
+        a = [0,1,1,1,2,3,4,4] and 5 elements to insert."""
+        flags = np.array([1, 0, 0, 1, 1, 1, 0, 1])
+        exclusive, total = hillis_steele_exclusive(flags)
+        assert exclusive.tolist() == [0, 1, 1, 1, 2, 3, 4, 4]
+        assert total == 5
+
+    def test_all_zeros(self):
+        exclusive, total = hillis_steele_exclusive(np.zeros(8, dtype=int))
+        assert total == 0
+        assert (exclusive == 0).all()
+
+    def test_all_ones(self):
+        exclusive, total = hillis_steele_exclusive(np.ones(4, dtype=int))
+        assert exclusive.tolist() == [0, 1, 2, 3]
+        assert total == 4
+
+    def test_empty(self):
+        exclusive, total = hillis_steele_exclusive(np.array([], dtype=int))
+        assert total == 0
+
+    def test_offsets_are_write_locations(self):
+        """Flagged elements written at exclusive offsets compact densely."""
+        rng = np.random.default_rng(3)
+        flags = (rng.random(32) < 0.4).astype(int)
+        exclusive, total = hillis_steele_exclusive(flags)
+        out = np.full(total, -1)
+        values = np.arange(32)
+        out[exclusive[flags == 1]] = values[flags == 1]
+        assert (out >= 0).all()
+        assert (np.diff(out) > 0).all()  # order preserved
+
+
+class TestWarpLevel:
+    @pytest.mark.parametrize("scan", [warp_compact_hillis_steele,
+                                      warp_compact_ballot],
+                             ids=["hillis-steele", "ballot"])
+    def test_matches_reference(self, ctx, scan):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            flags = (rng.random(32) < 0.5).astype(np.int64)
+            got_off, got_total = scan(ctx, flags)
+            want_off, want_total = hillis_steele_exclusive(flags)
+            assert got_total == want_total
+            assert np.array_equal(got_off, want_off)
+
+    def test_ballot_cheaper_than_hillis_steele(self, ctx):
+        """Fig. 8(c)'s point: the ballot scan is constant-instruction
+        while HS needs log2(32) rounds — the reason BC beats EC."""
+        flags = np.ones(32, dtype=np.int64)
+        i0 = ctx.issued
+        warp_compact_ballot(ctx, flags)
+        ballot_cost = ctx.issued - i0
+        i1 = ctx.issued
+        warp_compact_hillis_steele(ctx, flags)
+        hs_cost = ctx.issued - i1
+        assert ballot_cost < hs_cost
+
+
+class TestBlockLevel:
+    def test_block_scan_over_warp_counts(self, ctx):
+        counts = ctx.smem_array("warp_counts", 4)
+        counts[:] = [3, 0, 5, 2]
+        exclusive, total = block_scan_offsets(ctx)
+        assert exclusive.tolist() == [0, 3, 3, 8]
+        assert total == 10
+
+    def test_block_scan_charges_only_warp0(self, ctx):
+        """The two-stage scan concentrates its cost on one warp — the
+        structural serialisation the paper blames for EC."""
+        counts = ctx.smem_array("warp_counts", 4)
+        counts[:] = [1, 1, 1, 1]
+        i0 = ctx.issued
+        block_scan_offsets(ctx)
+        assert ctx.issued > i0  # all cost landed on this (warp-0) context

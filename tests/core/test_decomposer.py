@@ -1,0 +1,67 @@
+"""Public-API front-end tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposer import KCoreDecomposer
+from repro.errors import ReproError
+
+
+def test_fast_mode_default(fig1):
+    graph, expected = fig1
+    result = KCoreDecomposer().decompose(graph)
+    for v, c in expected.items():
+        assert result.core[v] == c
+
+
+def test_simulate_mode(fig1):
+    graph, expected = fig1
+    result = KCoreDecomposer(mode="simulate", variant="bc").decompose(graph)
+    assert result.algorithm == "gpu-bc"
+    assert result.simulated_ms > 0
+
+
+def test_modes_agree(er_graph):
+    graph, _ = er_graph
+    fast = KCoreDecomposer(mode="fast").decompose(graph)
+    sim = KCoreDecomposer(mode="simulate").decompose(graph)
+    assert np.array_equal(fast.core, sim.core)
+
+
+def test_core_numbers_shortcut(fig1):
+    graph, expected = fig1
+    core = KCoreDecomposer().core_numbers(graph)
+    assert core[0] == 3
+
+
+def test_invalid_mode():
+    with pytest.raises(ReproError):
+        KCoreDecomposer(mode="quantum")
+
+
+def test_reusable_across_graphs(fig1, er_graph):
+    decomposer = KCoreDecomposer(mode="simulate")
+    r1 = decomposer.decompose(fig1[0])
+    r2 = decomposer.decompose(er_graph[0])
+    assert r1.num_vertices != r2.num_vertices
+
+
+class TestResultType:
+    def test_shell_and_core_queries(self, fig1):
+        graph, _ = fig1
+        result = KCoreDecomposer().decompose(graph)
+        assert result.kmax == 3
+        assert set(result.shell(3).tolist()) == {0, 1, 2, 3}
+        assert result.core_vertices(2).size == 9
+        assert result.shell_sizes().tolist() == [0, 3, 5, 4]
+
+    def test_agrees_with(self, fig1):
+        graph, _ = fig1
+        a = KCoreDecomposer().decompose(graph)
+        b = KCoreDecomposer(mode="simulate").decompose(graph)
+        assert a.agrees_with(b)
+
+    def test_core_number_of(self, fig1):
+        graph, _ = fig1
+        result = KCoreDecomposer().decompose(graph)
+        assert result.core_number_of(4) == 2  # vertex A

@@ -1,0 +1,59 @@
+"""Variant-registry tests (the Table II matrix)."""
+
+import pytest
+
+from repro.core.variants import VARIANTS, VariantConfig, get_variant, variant_names
+from repro.errors import UnknownAlgorithmError
+
+
+def test_nine_table2_variants():
+    assert variant_names() == (
+        "ours", "sm", "vp", "bc", "bc+sm", "bc+vp", "ec", "ec+sm", "ec+vp"
+    )
+
+
+def test_ours_is_the_plain_config():
+    cfg = get_variant("ours")
+    assert cfg.compaction == "none"
+    assert not cfg.shared_buffer
+    assert not cfg.prefetch
+    assert not cfg.ring_buffer
+
+
+def test_combination_flags():
+    cfg = get_variant("ec+vp")
+    assert cfg.compaction == "block"
+    assert cfg.prefetch
+    assert not cfg.shared_buffer
+
+
+def test_lookup_case_insensitive():
+    assert get_variant("BC+SM") is VARIANTS["bc+sm"]
+
+
+def test_unknown_variant_raises():
+    with pytest.raises(UnknownAlgorithmError):
+        get_variant("turbo")
+
+
+def test_sm_and_vp_mutually_exclusive():
+    with pytest.raises(ValueError):
+        VariantConfig("bad", shared_buffer=True, prefetch=True)
+
+
+def test_invalid_compaction_mode():
+    with pytest.raises(ValueError):
+        VariantConfig("bad", compaction="quantum")
+
+
+def test_with_ring_buffer():
+    ringed = get_variant("bc").with_ring_buffer()
+    assert ringed.ring_buffer
+    assert ringed.name == "bc+ring"
+    assert ringed.compaction == "ballot"
+    assert not VARIANTS["bc"].ring_buffer  # original untouched
+
+
+def test_configs_are_frozen():
+    with pytest.raises(Exception):
+        get_variant("ours").prefetch = True

@@ -1,0 +1,80 @@
+"""Virtual warping tests (Section III of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.core.host import gpu_peel
+from repro.core.variants import EXTENSION_VARIANTS, VariantConfig, get_variant
+from repro.cpu.bz import bz_core_numbers
+from repro.graph import generators as gen
+from tests.conftest import assert_cores_equal
+
+
+@pytest.mark.parametrize("variant", ["vw2", "vw4"])
+def test_battery(battery_graph, variant):
+    graph, reference = battery_graph
+    result = gpu_peel(graph, variant=variant)
+    assert_cores_equal(result.core, reference, variant)
+
+
+def test_extension_registry():
+    assert set(EXTENSION_VARIANTS) == {"vw2", "vw4"}
+    assert get_variant("VW4").virtual_warps == 4
+
+
+def test_virtual_warps_validated():
+    with pytest.raises(ValueError):
+        VariantConfig("bad", virtual_warps=3)
+
+
+def test_orthogonality_enforced():
+    """The paper calls virtual warping orthogonal to its techniques;
+    combining it with compaction/buffering is rejected."""
+    with pytest.raises(ValueError):
+        VariantConfig("bad", virtual_warps=2, compaction="ballot")
+    with pytest.raises(ValueError):
+        VariantConfig("bad", virtual_warps=2, prefetch=True)
+
+
+def test_wins_on_low_degree_graphs():
+    """Section III: "this technique is mainly for those graphs with a
+    low average degree"."""
+    tree = gen.random_tree(2000, seed=9)
+    ours = gpu_peel(tree)
+    vw4 = gpu_peel(tree, variant="vw4")
+    assert np.array_equal(vw4.core, ours.core)
+    assert vw4.simulated_ms < ours.simulated_ms
+
+
+def test_no_benefit_on_dense_graphs():
+    dense = gen.erdos_renyi(400, 60.0, seed=2)
+    ours = gpu_peel(dense)
+    vw4 = gpu_peel(dense, variant="vw4")
+    assert np.array_equal(vw4.core, ours.core)
+    assert vw4.simulated_ms >= ours.simulated_ms
+
+
+def test_shared_neighbor_within_batch():
+    """Two same-batch vertices hitting a common neighbor must not
+    double-collect it (the in-warp analogue of Fig. 6)."""
+    from repro.graph.csr import CSRGraph
+
+    # many leaves around one hub: leaves are batched together and all
+    # decrement the hub concurrently
+    graph = CSRGraph.from_edges([(0, i) for i in range(1, 33)])
+    reference = bz_core_numbers(graph)
+    result = gpu_peel(graph, variant="vw4")
+    assert_cores_equal(result.core, reference, "vw4 star")
+
+
+def test_fuzzed_schedules():
+    from repro.core.host import GpuPeelOptions
+
+    graph = gen.power_law_configuration(300, 2.5, d_min=1, seed=4)
+    reference = bz_core_numbers(graph)
+    for seed in range(3):
+        result = gpu_peel(
+            graph, variant="vw4",
+            options=GpuPeelOptions(preempt_prob=0.3, seed=seed),
+        )
+        assert_cores_equal(result.core, reference, f"vw4 fuzz {seed}")

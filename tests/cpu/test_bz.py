@@ -1,0 +1,91 @@
+"""BZ reference-algorithm tests (validated against NetworkX)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.cpu.bz import bz_core_numbers, bz_decompose, degeneracy_ordering
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+
+
+def _nx_cores(graph: CSRGraph) -> np.ndarray:
+    G = nx.Graph()
+    G.add_nodes_from(range(graph.num_vertices))
+    G.add_edges_from(graph.edges())
+    nx_core = nx.core_number(G)
+    return np.array([nx_core[v] for v in range(graph.num_vertices)])
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_matches_networkx_on_er(seed):
+    graph = gen.erdos_renyi(150, 5.0, seed=seed)
+    assert np.array_equal(bz_core_numbers(graph), _nx_cores(graph))
+
+
+def test_matches_networkx_on_powerlaw():
+    graph = gen.power_law_configuration(200, 2.3, d_min=1, seed=3)
+    assert np.array_equal(bz_core_numbers(graph), _nx_cores(graph))
+
+
+def test_matches_networkx_on_planted_core():
+    graph = gen.planted_core(150, 30, 8, seed=2)
+    assert np.array_equal(bz_core_numbers(graph), _nx_cores(graph))
+
+
+def test_fig1(fig1):
+    graph, expected = fig1
+    core = bz_core_numbers(graph)
+    assert {v: int(core[v]) for v in expected} == expected
+
+
+def test_empty_graph():
+    assert bz_core_numbers(CSRGraph.empty(0)).size == 0
+
+
+def test_isolated_vertices():
+    core = bz_core_numbers(CSRGraph.empty(3))
+    assert (core == 0).all()
+
+
+class TestDegeneracyOrdering:
+    def test_is_a_permutation(self):
+        graph = gen.erdos_renyi(100, 4.0, seed=1)
+        order = degeneracy_ordering(graph)
+        assert sorted(order.tolist()) == list(range(100))
+
+    def test_core_numbers_nondecreasing_along_order(self):
+        """BZ peels in non-decreasing core order by construction."""
+        graph = gen.erdos_renyi(150, 6.0, seed=2)
+        core = bz_core_numbers(graph)
+        order = degeneracy_ordering(graph)
+        assert (np.diff(core[order]) >= 0).all()
+
+    def test_each_vertex_has_few_later_neighbors(self):
+        """Definition of degeneracy ordering: every vertex has at most
+        k_max neighbors occurring later in the order."""
+        graph = gen.erdos_renyi(120, 6.0, seed=3)
+        core = bz_core_numbers(graph)
+        kmax = int(core.max())
+        order = degeneracy_ordering(graph)
+        position = np.empty(graph.num_vertices, dtype=np.int64)
+        position[order] = np.arange(graph.num_vertices)
+        for v in range(graph.num_vertices):
+            later = sum(
+                1 for u in graph.neighbors_of(v) if position[u] > position[v]
+            )
+            assert later <= kmax
+
+
+class TestDecomposeWrapper:
+    def test_result_fields(self, fig1):
+        result = bz_decompose(fig1[0])
+        assert result.algorithm == "bz"
+        assert result.simulated_ms > 0
+        assert result.rounds == 4
+        assert result.stats["ops"] > 0
+
+    def test_time_scales_with_size(self):
+        small = bz_decompose(gen.erdos_renyi(100, 4.0, seed=0))
+        large = bz_decompose(gen.erdos_renyi(1000, 4.0, seed=0))
+        assert large.simulated_ms > 5 * small.simulated_ms

@@ -1,0 +1,110 @@
+"""MPM (h-index refinement) tests."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.bz import bz_core_numbers
+from repro.cpu.mpm import h_index, mpm_core_numbers, mpm_decompose, mpm_sweep
+from tests.conftest import assert_cores_equal
+
+
+class TestHIndex:
+    def test_paper_fig2_example(self):
+        """The paper's worked example: A = [5,5,3,3,2,2] refines a(v)
+        from 6 to 3."""
+        assert h_index(np.array([5, 5, 3, 3, 2, 2])) == 3
+
+    def test_empty(self):
+        assert h_index(np.array([])) == 0
+
+    def test_all_large(self):
+        assert h_index(np.array([9, 9, 9])) == 3
+
+    def test_all_ones(self):
+        assert h_index(np.array([1, 1, 1, 1])) == 1
+
+    def test_zeros(self):
+        assert h_index(np.array([0, 0])) == 0
+
+    def test_single(self):
+        assert h_index(np.array([7])) == 1
+
+    def test_order_invariant(self):
+        values = np.array([3, 1, 4, 1, 5, 9, 2, 6])
+        assert h_index(values) == h_index(values[::-1])
+
+
+class TestSweep:
+    def test_one_sweep_equals_per_vertex_h_index(self, fig1):
+        graph, _ = fig1
+        est = graph.degrees.astype(np.int64)
+        refined = mpm_sweep(est, graph.offsets, graph.neighbors)
+        for v in range(graph.num_vertices):
+            expected = min(
+                int(est[v]), h_index(est[graph.neighbors_of(v)])
+            )
+            assert refined[v] == expected, v
+
+    def test_sweep_monotone_nonincreasing(self, er_graph):
+        graph, _ = er_graph
+        est = graph.degrees.astype(np.int64)
+        refined = mpm_sweep(est, graph.offsets, graph.neighbors)
+        assert (refined <= est).all()
+
+    def test_sweep_on_empty_graph(self):
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph.empty(3)
+        refined = mpm_sweep(np.zeros(3, dtype=np.int64), g.offsets, g.neighbors)
+        assert (refined == 0).all()
+
+
+class TestFixpoint:
+    def test_battery(self, battery_graph):
+        graph, reference = battery_graph
+        core, sweeps = mpm_core_numbers(graph)
+        assert_cores_equal(core, reference, "mpm")
+        assert sweeps >= 1
+
+    def test_fixpoint_is_stable(self, er_graph):
+        graph, _ = er_graph
+        core, _ = mpm_core_numbers(graph)
+        again = mpm_sweep(core, graph.offsets, graph.neighbors)
+        assert np.array_equal(core, again)
+
+    def test_estimates_never_below_core(self, er_graph):
+        """Every intermediate estimate upper-bounds the core number."""
+        graph, reference = er_graph
+        est = graph.degrees.astype(np.int64)
+        for _ in range(3):
+            est = mpm_sweep(est, graph.offsets, graph.neighbors)
+            assert (est >= reference).all()
+
+
+class TestDecomposeWrapper:
+    def test_parallel_and_serial_agree(self, er_graph):
+        graph, reference = er_graph
+        par = mpm_decompose(graph, parallel=True)
+        ser = mpm_decompose(graph, parallel=False)
+        assert_cores_equal(par.core, reference, "mpm")
+        assert np.array_equal(par.core, ser.core)
+
+    def test_parallel_faster_than_serial(self, er_graph):
+        graph, _ = er_graph
+        par = mpm_decompose(graph, parallel=True)
+        ser = mpm_decompose(graph, parallel=False)
+        assert par.simulated_ms < ser.simulated_ms
+
+    def test_workload_exceeds_single_visit(self, er_graph):
+        """The paper: MPM's total workload is higher than peeling's
+        because vertices recompute multiple times."""
+        from repro.cpu.bz import bz_decompose
+
+        graph, _ = er_graph
+        mpm = mpm_decompose(graph, parallel=False)
+        bz = bz_decompose(graph)
+        assert mpm.stats["total_ops"] > bz.stats["ops"]
+
+    def test_rounds_reports_sweeps(self, fig1):
+        result = mpm_decompose(fig1[0])
+        assert result.rounds == result.stats["sweeps"]

@@ -1,0 +1,55 @@
+"""NetworkX-style pure-Python baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.bz import bz_decompose
+from repro.cpu.naive import networkx_style_core_numbers, networkx_style_decompose
+from tests.conftest import assert_cores_equal
+
+
+def test_battery(battery_graph):
+    graph, reference = battery_graph
+    core, _ = networkx_style_core_numbers(graph)
+    assert_cores_equal(core, reference, "networkx")
+
+
+def test_interpreted_ops_counted(fig1):
+    graph, _ = fig1
+    _, ops = networkx_style_core_numbers(graph)
+    assert ops > graph.num_vertices + graph.neighbors.size
+
+
+def test_orders_of_magnitude_slower_than_bz(er_graph):
+    """Table IV's point: interpreted machinery costs ~100x compiled."""
+    graph, _ = er_graph
+    nxr = networkx_style_decompose(graph)
+    bzr = bz_decompose(graph)
+    assert nxr.simulated_ms > 50 * bzr.simulated_ms
+
+
+def test_load_time_modelled_separately(er_graph):
+    graph, _ = er_graph
+    result = networkx_style_decompose(graph)
+    assert result.stats["load_ms"] > 0
+    # load is reported apart from compute, as in Table IV's "LD" rows
+    assert result.stats["load_ms"] != result.simulated_ms
+
+
+def test_memory_reflects_python_overhead(er_graph):
+    graph, _ = er_graph
+    nxr = networkx_style_decompose(graph)
+    bzr = bz_decompose(graph)
+    assert nxr.peak_memory_bytes > bzr.peak_memory_bytes
+
+
+def test_matches_real_networkx(er_graph):
+    import networkx as nx
+
+    graph, _ = er_graph
+    G = nx.Graph()
+    G.add_nodes_from(range(graph.num_vertices))
+    G.add_edges_from(graph.edges())
+    want = nx.core_number(G)
+    core, _ = networkx_style_core_numbers(graph)
+    assert {v: int(core[v]) for v in range(graph.num_vertices)} == want

@@ -1,0 +1,73 @@
+"""ParK tests (serial and simulated-parallel)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.park import park_decompose
+from repro.multicore.costmodel import CpuCostModel
+from tests.conftest import assert_cores_equal
+
+
+def test_battery_parallel(battery_graph):
+    graph, reference = battery_graph
+    assert_cores_equal(park_decompose(graph).core, reference, "park")
+
+
+def test_battery_serial(battery_graph):
+    graph, reference = battery_graph
+    result = park_decompose(graph, parallel=False)
+    assert_cores_equal(result.core, reference, "park-serial")
+
+
+def test_algorithm_names():
+    from repro.graph.examples import triangle
+
+    assert park_decompose(triangle()).algorithm == "park"
+    assert park_decompose(triangle(), parallel=False).algorithm == "park-serial"
+
+
+def test_serial_has_no_barriers(fig1):
+    result = park_decompose(fig1[0], parallel=False)
+    assert result.stats["barriers"] == 0
+
+
+def test_parallel_barriers_per_sublevel(fig1):
+    result = park_decompose(fig1[0])
+    # one barrier after each scan plus one per sub-level
+    assert result.stats["barriers"] == result.rounds + result.stats["sub_levels"]
+
+
+def test_sublevels_track_cascade_depth():
+    """A path peels in one round but many BFS waves, so ParK pays many
+    sub-level synchronisations — its known weakness."""
+    from repro.graph.examples import path_graph
+
+    result = park_decompose(path_graph(64))
+    assert result.stats["sub_levels"] >= 5
+
+
+def test_full_scan_every_round_hurts_high_kmax():
+    """Serial ParK rescans all vertices each round; with high k_max it
+    loses badly to BZ (the indochina row of Table IV)."""
+    from repro.cpu.bz import bz_decompose
+    from repro.graph import generators as gen
+
+    graph = gen.planted_core(2000, core_size=60, core_degree=40,
+                             background_degree=2.0, seed=5)
+    park = park_decompose(graph, parallel=False)
+    bz = bz_decompose(graph)
+    assert park.simulated_ms > 2 * bz.simulated_ms
+
+
+def test_custom_cost_model_threads():
+    from repro.graph.examples import k_clique
+
+    result = park_decompose(k_clique(6), cost=CpuCostModel(threads=4))
+    assert result.stats["threads"] == 4
+
+
+def test_atomics_counted(er_graph):
+    graph, _ = er_graph
+    result = park_decompose(graph)
+    # every vertex append + every live-edge decrement is atomic
+    assert result.stats["total_atomics"] >= graph.num_vertices

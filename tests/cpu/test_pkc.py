@@ -1,0 +1,80 @@
+"""PKC / PKC-o tests."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.pkc import COMPACTION_TRIGGER, pkc_decompose
+from tests.conftest import assert_cores_equal
+
+
+@pytest.mark.parametrize("parallel", [True, False], ids=["par", "ser"])
+@pytest.mark.parametrize("compact", [True, False], ids=["pkc", "pkc-o"])
+def test_battery(battery_graph, parallel, compact):
+    graph, reference = battery_graph
+    result = pkc_decompose(graph, parallel=parallel, compact=compact)
+    assert_cores_equal(result.core, reference, result.algorithm)
+
+
+def test_algorithm_names(fig1):
+    graph, _ = fig1
+    assert pkc_decompose(graph).algorithm == "pkc"
+    assert pkc_decompose(graph, compact=False).algorithm == "pkc-o"
+    assert pkc_decompose(graph, parallel=False).algorithm == "pkc-serial"
+    assert (
+        pkc_decompose(graph, parallel=False, compact=False).algorithm
+        == "pkc-o-serial"
+    )
+
+
+def test_one_barrier_per_round(fig1):
+    """PKC's whole point: local buffers remove sub-level syncs."""
+    graph, _ = fig1
+    result = pkc_decompose(graph)
+    assert result.stats["barriers"] == result.rounds
+
+
+def test_compaction_triggers_on_deep_tail():
+    """A graph whose dense nucleus survives long after 90% of vertices
+    are peeled must trigger the rebuild."""
+    from repro.graph import generators as gen
+
+    graph = gen.planted_core(3000, core_size=80, core_degree=30,
+                             background_degree=2.0, seed=8)
+    result = pkc_decompose(graph)
+    assert result.stats["compacted"]
+
+
+def test_compaction_not_triggered_on_flat_graph():
+    """An ER graph peels its bulk in the last rounds, so the alive set
+    never lingers below the trigger for long — and on tiny-k_max inputs
+    compaction may simply never pay off."""
+    from repro.graph.examples import k_clique
+
+    result = pkc_decompose(k_clique(8))
+    assert not result.stats["compacted"]
+
+
+def test_compaction_speeds_up_high_kmax():
+    """PKC vs PKC-o, the Table IV indochina effect."""
+    from repro.graph import generators as gen
+
+    graph = gen.planted_core(3000, core_size=80, core_degree=40,
+                             background_degree=2.0, seed=9)
+    with_compact = pkc_decompose(graph, parallel=False, compact=True)
+    without = pkc_decompose(graph, parallel=False, compact=False)
+    assert with_compact.simulated_ms < without.simulated_ms
+    assert np.array_equal(with_compact.core, without.core)
+
+
+def test_trigger_constant_sane():
+    assert 0.5 < COMPACTION_TRIGGER < 1.0
+
+
+def test_propagated_vertices_claimed_once(er_graph):
+    """Every vertex gets exactly one core assignment even when multiple
+    threads' BFS fronts touch it."""
+    graph, reference = er_graph
+    result = pkc_decompose(graph)
+    assert_cores_equal(result.core, reference, "pkc")
+    # total atomics equal live decrements: bounded by directed edges
+    assert result.stats["total_atomics"] <= graph.neighbors.size

@@ -1,0 +1,183 @@
+"""WarpContext tests: memory ops, atomics, warp primitives, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.context import BlockState, WarpContext
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.spec import DeviceSpec
+
+
+@pytest.fixture
+def ctx():
+    spec = DeviceSpec()
+    block = BlockState(0, 4, spec)
+    return WarpContext(block, warp_id=1, grid_dim=2, block_dim=128,
+                       spec=spec, cost=CostModel())
+
+
+@pytest.fixture
+def mem():
+    return GlobalMemory(capacity=1 << 20)
+
+
+class TestIdentity:
+    def test_ids(self, ctx):
+        assert ctx.block_idx == 0
+        assert ctx.warp_id == 1
+        assert ctx.global_warp_id == 1
+        assert ctx.warps_per_block == 4
+        assert ctx.num_threads == 256
+        assert ctx.lanes.tolist() == list(range(32))
+
+
+class TestGlobalMemory:
+    def test_gload_vector(self, ctx, mem):
+        arr = mem.malloc("a", np.arange(100))
+        vals = ctx.gload(arr, np.array([3, 7]))
+        assert vals.tolist() == [3, 7]
+
+    def test_gload_scalar(self, ctx, mem):
+        arr = mem.malloc("a", np.arange(10))
+        assert ctx.gload(arr, 4) == 4
+
+    def test_gstore(self, ctx, mem):
+        arr = mem.malloc("a", 10)
+        ctx.gstore(arr, np.array([1, 2]), np.array([5, 6]))
+        assert arr.data[1] == 5 and arr.data[2] == 6
+
+    def test_coalesced_access_one_transaction(self, ctx, mem):
+        arr = mem.malloc("a", np.arange(64))
+        before = ctx.block.timing.mem_transactions
+        ctx.gload(arr, np.arange(32))  # one 32-word segment
+        assert ctx.block.timing.mem_transactions - before == 1
+
+    def test_scattered_access_many_transactions(self, ctx, mem):
+        arr = mem.malloc("a", np.arange(32 * 64))
+        before = ctx.block.timing.mem_transactions
+        ctx.gload(arr, np.arange(32) * 64)  # every index a new segment
+        assert ctx.block.timing.mem_transactions - before == 32
+
+    def test_dependent_load_stalls_path(self, ctx, mem):
+        arr = mem.malloc("a", np.arange(10))
+        p0 = ctx.path
+        ctx.gload(arr, 0, dependent=True)
+        stall = ctx.path - p0
+        p1 = ctx.path
+        ctx.gload(arr, 0, dependent=False)
+        assert ctx.path - p1 < stall
+
+
+class TestAtomics:
+    def test_distinct_addresses(self, ctx, mem):
+        arr = mem.malloc("a", np.array([10, 20, 30]))
+        old = ctx.atomic_global(arr, np.array([0, 2]), -1)
+        assert old.tolist() == [10, 30]
+        assert arr.data.tolist() == [9, 20, 29]
+
+    def test_duplicate_addresses_serialise(self, ctx, mem):
+        """Each lane must observe a distinct intermediate value — the
+        property the Fig. 6 redundancy-avoidance argument needs."""
+        arr = mem.malloc("a", np.array([100]))
+        old = ctx.atomic_global(arr, np.zeros(5, dtype=np.int64), -1)
+        assert sorted(old.tolist()) == [96, 97, 98, 99, 100]
+        assert arr.data[0] == 95
+
+    def test_mixed_duplicates(self, ctx, mem):
+        arr = mem.malloc("a", np.array([5, 7]))
+        old = ctx.atomic_global(arr, np.array([0, 1, 0]), 1)
+        assert old[1] == 7
+        assert sorted([old[0], old[2]]) == [5, 6]
+        assert arr.data.tolist() == [7, 8]
+
+    def test_scalar_form(self, ctx, mem):
+        arr = mem.malloc("a", np.array([3]))
+        assert ctx.atomic_global(arr, 0, 2) == 3
+        assert arr.data[0] == 5
+
+    def test_empty_index(self, ctx, mem):
+        arr = mem.malloc("a", np.array([3]))
+        out = ctx.atomic_global(arr, np.empty(0, dtype=np.int64), 1)
+        assert out.size == 0
+
+    def test_conflicts_cost_more(self, ctx, mem):
+        arr = mem.malloc("a", np.zeros(64))
+        p0 = ctx.path
+        ctx.atomic_global(arr, np.arange(32), 1)
+        distinct_cost = ctx.path - p0
+        p1 = ctx.path
+        ctx.atomic_global(arr, np.zeros(32, dtype=np.int64), 1)
+        conflict_cost = ctx.path - p1
+        assert conflict_cost > distinct_cost
+
+
+class TestSharedMemory:
+    def test_scalar_roundtrip(self, ctx):
+        ctx.smem_set("e", 42)
+        assert ctx.smem_get("e") == 42
+
+    def test_get_default(self, ctx):
+        assert ctx.smem_get("missing", default=7) == 7
+
+    def test_atomic_add_returns_old(self, ctx):
+        ctx.smem_set("e", 10)
+        assert ctx.smem_atomic_add("e", 5) == 10
+        assert ctx.smem_get("e") == 15
+
+    def test_atomic_add_unset_starts_at_zero(self, ctx):
+        assert ctx.smem_atomic_add("x", 3) == 0
+
+    def test_array_alloc_and_access(self, ctx):
+        arr = ctx.smem_array("buf", 16)
+        ctx.sstore(arr, np.array([0, 3]), np.array([9, 8]))
+        assert ctx.sload(arr, 3) == 8
+
+    def test_array_alloc_idempotent(self, ctx):
+        a = ctx.smem_array("buf", 16)
+        b = ctx.smem_array("buf", 16)
+        assert a is b
+
+    def test_shared_capacity_enforced(self, ctx):
+        with pytest.raises(MemoryError):
+            ctx.smem_array("huge", 10_000_000)
+
+    def test_contended_shared_atomic_cheap(self, ctx):
+        """Hardware-accelerated shared atomics: 32 conflicting lanes
+        must cost far less than 32 serial global atomics."""
+        cost = ctx.cost
+        shared = cost.shared_atomic_base + cost.shared_atomic_conflict * 31
+        globl = 32 * cost.global_atomic_base
+        assert shared < globl / 4
+
+
+class TestWarpPrimitives:
+    def test_ballot_bitmap(self, ctx):
+        mask = np.zeros(32, dtype=bool)
+        mask[[0, 5, 31]] = True
+        bits = ctx.ballot(mask)
+        assert bits == (1 << 0) | (1 << 5) | (1 << 31)
+
+    def test_popc(self, ctx):
+        assert ctx.popc(0b1011) == 3
+        assert ctx.popc(0) == 0
+
+    def test_shfl_broadcast(self, ctx):
+        assert ctx.shfl_broadcast(17) == 17
+
+    def test_sync_warp_charges(self, ctx):
+        before = ctx.issued
+        ctx.sync_warp()
+        assert ctx.issued == before + 1
+
+
+class TestPreemption:
+    def test_no_rng_never_preempts(self, ctx):
+        assert not ctx.should_preempt()
+
+    def test_probability_one_always_preempts(self):
+        spec = DeviceSpec()
+        block = BlockState(0, 1, spec)
+        ctx = WarpContext(block, 0, 1, 32, spec, CostModel(),
+                          rng=np.random.default_rng(0), preempt_prob=1.0)
+        assert ctx.should_preempt()

@@ -1,0 +1,61 @@
+"""Cost-model arithmetic tests."""
+
+import pytest
+
+from repro.gpusim.costmodel import BlockTiming, CostModel
+
+
+def test_block_cycles_takes_roofline_max():
+    cm = CostModel(issue_width=4.0, mem_transaction_cycles=2.0,
+                   barrier_cycles=10.0)
+    timing = BlockTiming(issued=400, mem_transactions=10, max_warp_path=50,
+                         barriers=2)
+    # compute = 100, memory = 20, path = 50 -> max 100, + 20 barriers
+    assert cm.block_cycles(timing) == pytest.approx(120.0)
+
+
+def test_block_cycles_memory_bound():
+    cm = CostModel(issue_width=4.0, mem_transaction_cycles=2.0,
+                   barrier_cycles=0.0)
+    timing = BlockTiming(issued=4, mem_transactions=100, max_warp_path=0)
+    assert cm.block_cycles(timing) == pytest.approx(200.0)
+
+
+def test_block_cycles_path_bound():
+    cm = CostModel(barrier_cycles=0.0)
+    timing = BlockTiming(issued=0, mem_transactions=0, max_warp_path=77)
+    assert cm.block_cycles(timing) == pytest.approx(77.0)
+
+
+def test_kernel_cycles_round_robin_sm_assignment():
+    cm = CostModel(barrier_cycles=0.0)
+    mk = lambda path: BlockTiming(max_warp_path=path)
+    # 3 blocks on 2 SMs: SM0 gets blocks 0+2 (10+30), SM1 gets block 1 (20)
+    assert cm.kernel_cycles([mk(10), mk(20), mk(30)], num_sms=2) == 40.0
+
+
+def test_kernel_cycles_one_block_per_sm():
+    cm = CostModel(barrier_cycles=0.0)
+    mk = lambda path: BlockTiming(max_warp_path=path)
+    assert cm.kernel_cycles([mk(10), mk(25)], num_sms=8) == 25.0
+
+
+def test_kernel_cycles_empty():
+    assert CostModel().kernel_cycles([], num_sms=4) == 0.0
+
+
+def test_cycles_to_ms_uses_clock():
+    cm = CostModel(clock_ghz=2.0)
+    assert cm.cycles_to_ms(2_000_000) == pytest.approx(1.0)
+
+
+def test_defaults_reflect_the_papers_ablation_findings():
+    """The calibration invariants the Table II shape rests on."""
+    cm = CostModel()
+    # shared atomics are nearly free even under contention
+    assert cm.shared_atomic_base <= 4
+    assert cm.shared_atomic_conflict < 1
+    # global atomics cost more than shared ones
+    assert cm.global_atomic_base > cm.shared_atomic_base
+    # a dependent load stalls far longer than an instruction issues
+    assert cm.global_load_latency > 2 * cm.issue_width

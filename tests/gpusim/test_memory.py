@@ -1,0 +1,90 @@
+"""Device global-memory accounting tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceOutOfMemoryError
+from repro.gpusim.memory import GlobalMemory
+
+
+def test_malloc_and_get():
+    mem = GlobalMemory(capacity=1000)
+    arr = mem.malloc("a", 10)
+    assert len(arr) == 10
+    assert mem.get("a") is arr
+    assert mem.in_use == 40
+
+
+def test_malloc_from_host_array_copies():
+    mem = GlobalMemory(capacity=1000)
+    host = np.arange(5)
+    arr = mem.malloc("a", host)
+    host[0] = 99
+    assert arr.data[0] == 0
+
+
+def test_fill_value():
+    mem = GlobalMemory(capacity=1000)
+    arr = mem.malloc("a", 4, fill=7)
+    assert (arr.data == 7).all()
+
+
+def test_oom_raises_with_details():
+    mem = GlobalMemory(capacity=100)
+    mem.malloc("a", 20)  # 80 bytes
+    with pytest.raises(DeviceOutOfMemoryError) as exc:
+        mem.malloc("b", 20)
+    assert exc.value.requested == 80
+    assert exc.value.in_use == 80
+    assert exc.value.capacity == 100
+
+
+def test_free_releases_space():
+    mem = GlobalMemory(capacity=100)
+    mem.malloc("a", 20)
+    mem.free("a")
+    mem.malloc("b", 25)  # fits only after the free
+    assert mem.in_use == 100
+
+
+def test_peak_is_high_water_mark():
+    mem = GlobalMemory(capacity=1000)
+    mem.malloc("a", 100)
+    mem.free("a")
+    mem.malloc("b", 10)
+    assert mem.peak == 400
+    assert mem.in_use == 40
+
+
+def test_base_usage_counts():
+    mem = GlobalMemory(capacity=1000, base_usage=600)
+    assert mem.available == 400
+    with pytest.raises(DeviceOutOfMemoryError):
+        mem.malloc("a", 200)
+
+
+def test_base_usage_exceeding_capacity():
+    with pytest.raises(DeviceOutOfMemoryError):
+        GlobalMemory(capacity=100, base_usage=200)
+
+
+def test_duplicate_name_rejected():
+    mem = GlobalMemory(capacity=1000)
+    mem.malloc("a", 1)
+    with pytest.raises(ValueError):
+        mem.malloc("a", 1)
+
+
+def test_id_bytes_accounting():
+    mem = GlobalMemory(capacity=1000)
+    mem.malloc("a", 10, id_bytes=8)
+    assert mem.in_use == 80
+
+
+def test_free_all():
+    mem = GlobalMemory(capacity=1000)
+    mem.malloc("a", 10)
+    mem.malloc("b", 10)
+    mem.free_all()
+    assert mem.in_use == 0
+    assert mem.peak == 80

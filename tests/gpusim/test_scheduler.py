@@ -1,0 +1,178 @@
+"""Cooperative-scheduler tests: barriers, interleaving, deadlock."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelDeadlockError
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import Device
+from repro.gpusim.scheduler import run_kernel
+from repro.gpusim.spec import DeviceSpec
+
+SPEC = DeviceSpec()
+COST = CostModel()
+
+
+def test_simple_kernel_runs_all_warps():
+    seen = []
+
+    def kernel(ctx):
+        seen.append((ctx.block_idx, ctx.warp_id))
+        yield ctx.STEP
+
+    run_kernel(kernel, SPEC, COST, grid_dim=2, block_dim=64)
+    assert sorted(seen) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+def test_barrier_orders_phases():
+    """No warp may enter phase 2 until every warp finished phase 1."""
+    log = []
+
+    def kernel(ctx):
+        log.append(("p1", ctx.warp_id))
+        yield ctx.BARRIER
+        log.append(("p2", ctx.warp_id))
+
+    run_kernel(kernel, SPEC, COST, grid_dim=1, block_dim=128)
+    phase1_end = max(i for i, (p, _) in enumerate(log) if p == "p1")
+    phase2_start = min(i for i, (p, _) in enumerate(log) if p == "p2")
+    assert phase1_end < phase2_start
+
+
+def test_barriers_are_per_block():
+    """A barrier in block 0 must not wait for block 1's warps."""
+    def kernel(ctx, out):
+        if ctx.block_idx == 0:
+            yield ctx.BARRIER
+            out.append(ctx.warp_id)
+        else:
+            # block 1 never reaches a barrier; block 0 must still finish
+            yield ctx.STEP
+
+    out: list = []
+    run_kernel(kernel, SPEC, COST, grid_dim=2, block_dim=64, args=(out,))
+    assert sorted(out) == [0, 1]
+
+
+def test_warps_interleave_across_blocks():
+    """Round-robin scheduling interleaves work from different blocks —
+    the property that lets cross-block races (Fig. 6) actually occur."""
+    order = []
+
+    def kernel(ctx):
+        for _ in range(3):
+            order.append(ctx.block_idx)
+            yield ctx.STEP
+
+    run_kernel(kernel, SPEC, COST, grid_dim=2, block_dim=32)
+    # both blocks appear before either finishes all three steps
+    first_done = order.index(0, 4) if order.count(0) else 0
+    assert order[:4].count(0) and order[:4].count(1)
+
+
+def test_finished_warps_release_barrier():
+    """A warp exiting early must not hang the others at __syncthreads
+    (CUDA semantics: exited threads stop participating)."""
+    def kernel(ctx):
+        if ctx.warp_id == 0:
+            yield ctx.STEP
+            return  # exits without hitting the barrier
+        yield ctx.BARRIER
+
+    stats = run_kernel(kernel, SPEC, COST, grid_dim=1, block_dim=96)
+    assert stats.barriers >= 1
+
+
+def test_mismatched_barrier_counts_complete_via_exit():
+    """Warps hitting different numbers of barriers resolve as warps
+    exit; the final state must not deadlock when counts can drain."""
+    def kernel(ctx):
+        rounds = 1 if ctx.warp_id == 0 else 2
+        for _ in range(rounds):
+            yield ctx.BARRIER
+
+    # warp 0 exits after barrier 1; the others' second barrier releases
+    # once warp 0 is no longer active
+    run_kernel(kernel, SPEC, COST, grid_dim=1, block_dim=96)
+
+
+def test_stats_accumulate():
+    def kernel(ctx, data):
+        ctx.gload(data, ctx.lanes)
+        ctx.charge(10)
+        yield ctx.BARRIER
+
+    dev = Device()
+    data = dev.malloc("d", np.arange(64))
+    stats = run_kernel(kernel, dev.spec, dev.cost_model, grid_dim=1,
+                       block_dim=64, args=(data,))
+    assert stats.issued >= 22  # 2 warps x (1 load + 10 charge)
+    assert stats.mem_transactions == 2
+    assert stats.barriers == 1
+    assert stats.cycles > 0
+
+
+def test_unknown_token_rejected():
+    def kernel(ctx):
+        yield "bogus"
+
+    with pytest.raises(ValueError):
+        run_kernel(kernel, SPEC, COST, grid_dim=1, block_dim=32)
+
+
+def test_block_dim_must_be_warp_multiple():
+    def kernel(ctx):
+        yield ctx.STEP
+
+    with pytest.raises(ValueError):
+        run_kernel(kernel, SPEC, COST, grid_dim=1, block_dim=48)
+
+
+def test_kernel_stats_milliseconds():
+    def kernel(ctx):
+        ctx.charge(1000)
+        yield ctx.STEP
+
+    stats = run_kernel(kernel, SPEC, COST, grid_dim=1, block_dim=32)
+    assert stats.milliseconds(COST) == pytest.approx(
+        COST.cycles_to_ms(stats.cycles)
+    )
+
+
+class TestDevice:
+    def test_launch_accumulates_time(self):
+        def kernel(ctx):
+            ctx.charge(100)
+            yield ctx.STEP
+
+        dev = Device()
+        t0 = dev.elapsed_ms
+        dev.launch(kernel, grid_dim=1, block_dim=32)
+        assert dev.elapsed_ms > t0
+        assert dev.kernel_launches == 1
+
+    def test_charge_hook(self):
+        dev = Device()
+        dev.charge(cycles=1_000_000, launches=2)
+        assert dev.kernel_launches == 2
+        assert dev.elapsed_ms >= 1.0
+
+    def test_time_budget_enforced(self):
+        from repro.errors import SimulatedTimeLimitExceeded
+
+        dev = Device(time_budget_ms=0.5)
+        with pytest.raises(SimulatedTimeLimitExceeded):
+            dev.charge(cycles=10_000_000)
+
+    def test_read_back_is_a_copy(self):
+        dev = Device()
+        arr = dev.malloc("a", np.arange(4))
+        out = dev.read_back(arr)
+        out[0] = 99
+        assert arr.data[0] == 0
+
+    def test_malloc_free_cycle(self):
+        dev = Device()
+        dev.malloc("a", 100)
+        dev.free("a")
+        dev.malloc("a", 100)  # name reusable after free

@@ -1,0 +1,117 @@
+"""Dataset-registry tests: completeness, fidelity, and caching."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.bz import bz_core_numbers
+from repro.errors import UnknownDatasetError
+from repro.graph import datasets
+
+
+def test_registry_has_the_papers_20_datasets():
+    assert len(datasets.DATASETS) == 20
+
+
+def test_registry_order_matches_paper_table1():
+    names = datasets.dataset_names()
+    assert names[0] == "amazon0601"
+    assert names[-1] == "it-2004"
+    assert "trackers" in names
+
+
+def test_paper_stats_recorded():
+    spec = datasets.get_spec("it-2004")
+    assert spec.paper.num_edges == 1_150_725_436
+    assert spec.paper.kmax == 3_224
+    assert spec.category == "Web Graph"
+
+
+def test_unknown_name_raises():
+    with pytest.raises(UnknownDatasetError):
+        datasets.get_spec("no-such-graph")
+
+
+def test_load_is_cached():
+    a = datasets.load("amazon0601")
+    b = datasets.load("amazon0601")
+    assert a is b
+
+
+def test_build_is_deterministic():
+    spec = datasets.get_spec("web-Google")
+    assert spec.build() == spec.build()
+
+
+def test_small_dataset_names_prefix():
+    small = datasets.small_dataset_names(3)
+    assert small == datasets.dataset_names()[:3]
+
+
+def test_edge_counts_ascending_like_the_paper():
+    """The paper lists datasets in ascending |E|; the analogues must
+    keep that ordering (it drives which programs OOM first)."""
+    sizes = [datasets.load(n).num_edges for n in datasets.dataset_names()]
+    violations = sum(
+        1 for a, b in zip(sizes, sizes[1:]) if a > b
+    )
+    # allow a couple of local swaps, but the trend must hold
+    assert violations <= 3, f"edge counts not ascending: {sizes}"
+
+
+def test_trackers_has_the_most_extreme_skew():
+    ratios = {
+        name: datasets.load(name).degree_std
+        / max(1.0, datasets.load(name).average_degree)
+        for name in datasets.dataset_names()
+    }
+    assert max(ratios, key=ratios.get) == "trackers"
+
+
+def test_hollywood_is_densest():
+    densities = {
+        name: datasets.load(name).average_degree
+        for name in datasets.dataset_names()
+    }
+    assert max(densities, key=densities.get) == "hollywood-2009"
+
+
+def test_webbase_has_most_vertices():
+    sizes = {
+        name: datasets.load(name).num_vertices
+        for name in datasets.dataset_names()
+    }
+    assert max(sizes, key=sizes.get) == "webbase-2001"
+
+
+def test_indochina_has_highest_kmax():
+    kmaxes = {
+        name: int(bz_core_numbers(datasets.load(name)).max())
+        for name in datasets.dataset_names()
+    }
+    assert max(kmaxes, key=kmaxes.get) == "indochina-2004"
+
+
+def test_dblp_has_lowest_kmax_among_nontrivial():
+    """dblp-author is the paper's lowest-k_max dataset (14)."""
+    kmax = int(bz_core_numbers(datasets.load("dblp-author")).max())
+    assert kmax <= 10
+
+
+def test_load_real_missing_file(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        datasets.load_real("amazon0601", tmp_path)
+
+
+def test_load_real_reads_user_file(tmp_path):
+    (tmp_path / "amazon0601.txt").write_text("0 1\n1 2\n")
+    g = datasets.load_real("amazon0601", tmp_path)
+    assert g.num_edges == 2
+
+
+def test_all_datasets_nonempty_and_connected_enough():
+    for name in datasets.dataset_names():
+        g = datasets.load(name)
+        assert g.num_vertices > 0
+        assert g.num_edges > 0
+        # no more than half the vertices isolated
+        assert (g.degrees == 0).mean() < 0.5, name

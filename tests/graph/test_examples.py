@@ -1,0 +1,56 @@
+"""The Fig. 1 didactic graph must match the paper's narrative."""
+
+import numpy as np
+
+from repro.cpu.bz import bz_core_numbers
+from repro.graph.examples import FIG1_NAMES, fig1_graph, k_clique, path_graph, triangle
+
+
+def test_fig1_expected_cores_are_correct():
+    graph, expected = fig1_graph()
+    core = bz_core_numbers(graph)
+    for v, c in expected.items():
+        assert core[v] == c, f"{FIG1_NAMES[v]}: got {core[v]}, want {c}"
+
+
+def test_fig1_vertex_a_has_degree_3_but_core_2():
+    """The paper's running example: A has degree 3, yet core(A) = 2
+    because neighbor B cannot survive into the 3-core."""
+    graph, expected = fig1_graph()
+    a = FIG1_NAMES.index("A")
+    assert graph.degree(a) == 3  # neighbors R1, R2, B
+    assert expected[a] == 2
+
+
+def test_fig1_all_three_shells_nonempty():
+    graph, expected = fig1_graph()
+    shells = set(expected.values())
+    assert shells == {1, 2, 3}
+
+
+def test_fig1_three_core_is_k4():
+    graph, expected = fig1_graph()
+    red = [v for v, c in expected.items() if c == 3]
+    assert len(red) == 4
+    for i in red:
+        for j in red:
+            if i != j:
+                assert graph.has_edge(i, j)
+
+
+def test_triangle_cores():
+    assert (bz_core_numbers(triangle()) == 2).all()
+
+
+def test_clique_cores():
+    assert (bz_core_numbers(k_clique(7)) == 6).all()
+
+
+def test_path_cores():
+    core = bz_core_numbers(path_graph(10))
+    assert (core == 1).all()
+
+
+def test_path_trivial_sizes():
+    assert path_graph(0).num_vertices == 0
+    assert path_graph(1).num_vertices == 1

@@ -1,0 +1,154 @@
+"""Generator tests: determinism, structure, and ground-truth cores."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.bz import bz_core_numbers
+from repro.graph import generators as gen
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda s: gen.erdos_renyi(200, 5.0, seed=s),
+            lambda s: gen.barabasi_albert(150, 3, seed=s),
+            lambda s: gen.rmat(8, 6.0, seed=s),
+            lambda s: gen.power_law_configuration(200, 2.4, seed=s),
+            lambda s: gen.planted_core(200, 30, 10, seed=s),
+            lambda s: gen.hub_and_spokes(200, seed=s),
+            lambda s: gen.random_tree(100, seed=s),
+        ],
+        ids=["er", "ba", "rmat", "powerlaw", "planted", "hubs", "tree"],
+    )
+    def test_same_seed_same_graph(self, make):
+        assert make(42) == make(42)
+
+    def test_different_seed_different_graph(self):
+        assert gen.erdos_renyi(200, 5.0, seed=1) != gen.erdos_renyi(
+            200, 5.0, seed=2
+        )
+
+
+class TestErdosRenyi:
+    def test_size(self):
+        g = gen.erdos_renyi(500, 8.0, seed=0)
+        assert g.num_vertices == 500
+        # dedup loses a little; expect within 15% of the target
+        assert 0.85 * 2000 <= g.num_edges <= 2000
+
+    def test_zero_degree(self):
+        g = gen.erdos_renyi(10, 0.0, seed=0)
+        assert g.num_edges == 0
+
+
+class TestBarabasiAlbert:
+    def test_min_degree_at_least_one(self):
+        g = gen.barabasi_albert(200, 3, seed=0)
+        assert g.degrees.min() >= 1
+
+    def test_heavy_tail(self):
+        g = gen.barabasi_albert(500, 3, seed=0)
+        assert g.max_degree > 5 * g.average_degree
+
+    def test_core_bounded_by_attach(self):
+        g = gen.barabasi_albert(300, 4, seed=0)
+        assert bz_core_numbers(g).max() <= 5
+
+    def test_rejects_small_n(self):
+        with pytest.raises(ValueError):
+            gen.barabasi_albert(3, 3)
+
+
+class TestRmat:
+    def test_size_power_of_two(self):
+        g = gen.rmat(7, 4.0, seed=0)
+        assert g.num_vertices == 128
+
+    def test_skewed_degrees(self):
+        g = gen.rmat(10, 8.0, seed=0)
+        assert g.degree_std > g.average_degree
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            gen.rmat(5, 4.0, probabilities=(0.5, 0.5, 0.5, 0.5))
+
+
+class TestPowerLawConfiguration:
+    def test_degrees_within_bounds(self):
+        g = gen.power_law_configuration(300, 2.5, d_min=2, d_max=30, seed=0)
+        # stub pairing + dedup can only *lower* degrees
+        assert g.max_degree <= 30
+
+    def test_skew_increases_with_smaller_exponent(self):
+        heavy = gen.power_law_configuration(800, 2.0, d_min=1, seed=0)
+        light = gen.power_law_configuration(800, 3.5, d_min=1, seed=0)
+        assert heavy.degree_std > light.degree_std
+
+
+class TestPlantedCore:
+    def test_core_depth_controlled(self):
+        g = gen.planted_core(400, core_size=50, core_degree=15,
+                             background_degree=2.0, seed=0)
+        kmax = int(bz_core_numbers(g).max())
+        # the nucleus should dominate k_max, near core_degree
+        assert kmax >= 8
+
+    def test_nucleus_vertices_in_deep_core(self):
+        g = gen.planted_core(300, core_size=40, core_degree=12,
+                             background_degree=1.0, seed=1)
+        core = bz_core_numbers(g)
+        kmax = core.max()
+        deep = np.flatnonzero(core == kmax)
+        assert (deep < 40).mean() > 0.9  # nucleus IDs are 0..39
+
+    def test_core_size_validation(self):
+        with pytest.raises(ValueError):
+            gen.planted_core(10, core_size=20, core_degree=3)
+
+
+class TestHubAndSpokes:
+    def test_extreme_skew(self):
+        g = gen.hub_and_spokes(1000, num_hubs=3, seed=0)
+        assert g.degree_std > 4 * g.average_degree
+
+    def test_hub_ids_have_top_degrees(self):
+        g = gen.hub_and_spokes(500, num_hubs=2, seed=0)
+        top2 = np.argsort(g.degrees)[-2:]
+        assert set(top2.tolist()) == {0, 1}
+
+
+class TestStructuredGraphs:
+    def test_ring_of_cliques_cores(self):
+        g = gen.ring_of_cliques(3, 4)
+        core = bz_core_numbers(g)
+        assert (core == 3).all()
+
+    def test_grid_cores_are_two(self):
+        g = gen.grid_2d(5, 8)
+        assert (bz_core_numbers(g) == 2).all()
+
+    def test_tree_cores_are_one(self):
+        g = gen.random_tree(50, seed=3)
+        assert (bz_core_numbers(g) == 1).all()
+        assert g.num_edges == 49
+
+    def test_single_vertex_tree(self):
+        g = gen.random_tree(1)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+
+class TestUnionGraphs:
+    def test_union_merges_edges(self):
+        a = gen.grid_2d(2, 2)
+        b = gen.ring_of_cliques(1, 4)  # K4 over the same 4 vertices
+        u = gen.union_graphs(a, b)
+        assert u.num_edges == 6  # K4 subsumes the grid edges
+
+    def test_union_takes_max_vertex_count(self):
+        from repro.graph.csr import CSRGraph
+
+        a = CSRGraph.empty(10)
+        b = CSRGraph.from_edges([(0, 1)])
+        assert gen.union_graphs(a, b).num_vertices == 10

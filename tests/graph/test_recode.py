@@ -1,0 +1,67 @@
+"""ID recoding tests."""
+
+import numpy as np
+
+from repro.graph.recode import IdRecoder, recode_edge_array, recode_ids
+
+
+class TestIdRecoder:
+    def test_first_seen_order(self):
+        r = IdRecoder()
+        assert r.encode("x") == 0
+        assert r.encode("y") == 1
+        assert r.encode("x") == 0
+        assert len(r) == 2
+
+    def test_decode(self):
+        r = IdRecoder()
+        r.encode("a")
+        r.encode("b")
+        assert r.decode(1) == "b"
+        assert r.decode_many([1, 0]) == ["b", "a"]
+
+    def test_labels_property(self):
+        r = IdRecoder()
+        r.encode(10)
+        r.encode(20)
+        assert r.labels == (10, 20)
+
+    def test_arbitrary_hashable_labels(self):
+        r = IdRecoder()
+        assert r.encode(("paper", 3)) == 0
+        assert r.decode(0) == ("paper", 3)
+
+
+class TestRecodeIds:
+    def test_labelled_edges(self):
+        edges, recoder = recode_ids([("alice", "bob"), ("bob", "carol")])
+        assert edges.tolist() == [[0, 1], [1, 2]]
+        assert recoder.decode(2) == "carol"
+
+    def test_empty(self):
+        edges, recoder = recode_ids([])
+        assert edges.shape == (0, 2)
+        assert len(recoder) == 0
+
+
+class TestRecodeEdgeArray:
+    def test_gaps_densified(self):
+        dense, original = recode_edge_array(np.array([[10, 30], [30, 50]]))
+        assert dense.tolist() == [[0, 1], [1, 2]]
+        assert original.tolist() == [10, 30, 50]
+
+    def test_relative_order_preserved(self):
+        dense, original = recode_edge_array(np.array([[50, 10]]))
+        # 10 < 50, so 10 -> 0 regardless of appearance order
+        assert dense.tolist() == [[1, 0]]
+        assert original.tolist() == [10, 50]
+
+    def test_empty(self):
+        dense, original = recode_edge_array(np.empty((0, 2), dtype=np.int64))
+        assert dense.shape == (0, 2)
+        assert original.size == 0
+
+    def test_roundtrip_via_original_ids(self):
+        edges = np.array([[7, 3], [3, 99], [99, 7]])
+        dense, original = recode_edge_array(edges)
+        assert np.array_equal(original[dense], edges)

@@ -1,0 +1,68 @@
+"""The master integration invariant: EVERY program in the repository
+computes identical core numbers to BZ on every battery graph.
+
+This is the repository's strongest correctness statement — one
+parametrised matrix of (algorithm x graph) covering the nine kernel
+variants, all CPU baselines, and all four system emulations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ALGORITHMS, decompose
+from tests.conftest import BATTERY, BATTERY_IDS, assert_cores_equal
+from repro.cpu.bz import bz_core_numbers
+
+#: algorithms excluded from the dense matrix to keep runtime sane; they
+#: are each exercised on a couple of graphs below instead
+_SLOW = {"networkx", "medusa-mpm"}
+
+FAST_ALGORITHMS = sorted(set(ALGORITHMS) - _SLOW)
+
+
+@pytest.mark.parametrize("algorithm", FAST_ALGORITHMS)
+@pytest.mark.parametrize(
+    "named_graph", BATTERY, ids=BATTERY_IDS
+)
+def test_matrix_agreement(algorithm, named_graph):
+    name, graph = named_graph
+    reference = bz_core_numbers(graph)
+    result = decompose(graph, algorithm)
+    assert_cores_equal(result.core, reference, f"{algorithm} on {name}")
+
+
+@pytest.mark.parametrize("algorithm", sorted(_SLOW))
+def test_slow_algorithms_spot_checked(algorithm, fig1, er_graph):
+    for graph, reference in (
+        (fig1[0], bz_core_numbers(fig1[0])),
+        er_graph,
+    ):
+        result = decompose(graph, algorithm)
+        assert_cores_equal(result.core, reference, algorithm)
+
+
+def test_all_results_carry_algorithm_names(fig1):
+    graph, _ = fig1
+    for name in ("gpu-ours", "bz", "pkc", "gswitch"):
+        assert decompose(graph, name).algorithm.startswith(name.split("-")[0])
+
+
+def test_unknown_algorithm_raises(fig1):
+    from repro.errors import UnknownAlgorithmError
+
+    with pytest.raises(UnknownAlgorithmError):
+        decompose(fig1[0], "quantum-peel")
+
+
+def test_registry_covers_the_papers_tables():
+    """Every column of Tables II, III and IV must be runnable."""
+    table2 = {f"gpu-{v}" for v in (
+        "ours", "sm", "vp", "bc", "bc+sm", "bc+vp", "ec", "ec+sm", "ec+vp")}
+    table3 = {"gpu-ours", "vetga", "medusa-mpm", "medusa-peel",
+              "gunrock", "gswitch"}
+    table4 = {"gpu-ours", "networkx", "bz", "park-serial", "park",
+              "pkc-o-serial", "pkc-o", "mpm", "pkc-serial", "pkc"}
+    registered = set(ALGORITHMS)
+    assert table2 <= registered
+    assert table3 <= registered
+    assert table4 <= registered

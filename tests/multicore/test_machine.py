@@ -1,0 +1,81 @@
+"""Simulated-multicore accounting tests."""
+
+import pytest
+
+from repro.multicore.costmodel import CpuCostModel
+from repro.multicore.machine import SimulatedMulticore
+
+
+def test_epoch_charges_straggler():
+    cost = CpuCostModel(op_ns=10.0, sync_us=0.0)
+    m = SimulatedMulticore(cost, threads=4)
+    m.add_ops(0, 100)
+    m.add_ops(1, 500)  # straggler
+    m.barrier()
+    assert m.elapsed_ms == pytest.approx(500 * 10.0 / 1e6)
+
+
+def test_barrier_adds_sync_fee():
+    cost = CpuCostModel(op_ns=0.0, sync_us=3.0)
+    m = SimulatedMulticore(cost, threads=2)
+    m.barrier()
+    m.barrier()
+    assert m.elapsed_ms == pytest.approx(0.006)
+    assert m.barriers == 2
+
+
+def test_spread_ops_balanced():
+    cost = CpuCostModel(op_ns=10.0, sync_us=0.0)
+    m = SimulatedMulticore(cost, threads=4)
+    m.spread_ops(400)  # 100 each
+    m.barrier()
+    assert m.elapsed_ms == pytest.approx(100 * 10.0 / 1e6)
+
+
+def test_atomics_cost_extra():
+    cost = CpuCostModel(op_ns=10.0, atomic_ns=50.0, sync_us=0.0)
+    m = SimulatedMulticore(cost, threads=1)
+    m.add_ops(0, 10)
+    m.add_atomics(0, 4)
+    m.barrier()
+    assert m.elapsed_ms == pytest.approx((10 * 10 + 4 * 50) / 1e6)
+
+
+def test_finish_flushes_without_sync_fee():
+    cost = CpuCostModel(op_ns=10.0, sync_us=100.0)
+    m = SimulatedMulticore(cost, threads=1)
+    m.add_ops(0, 100)
+    total = m.finish()
+    assert total == pytest.approx(100 * 10.0 / 1e6)
+    assert m.barriers == 0
+
+
+def test_totals_accumulate_across_epochs():
+    m = SimulatedMulticore(CpuCostModel(), threads=2)
+    m.add_ops(0, 5)
+    m.barrier()
+    m.add_ops(1, 7)
+    m.finish()
+    assert m.total_ops == 12
+
+
+def test_serial_machine_single_thread():
+    m = SimulatedMulticore(CpuCostModel(op_ns=1.0, sync_us=0.0), threads=1)
+    m.add_ops(0, 1000)
+    assert m.finish() == pytest.approx(1e-3)
+
+
+def test_epochs_reset_after_barrier():
+    cost = CpuCostModel(op_ns=10.0, sync_us=0.0)
+    m = SimulatedMulticore(cost, threads=2)
+    m.add_ops(0, 100)
+    m.barrier()
+    m.add_ops(1, 50)
+    m.barrier()
+    # 100 then 50, not 150
+    assert m.elapsed_ms == pytest.approx((100 + 50) * 10.0 / 1e6)
+
+
+def test_default_threads_from_cost_model():
+    m = SimulatedMulticore(CpuCostModel(threads=48))
+    assert m.threads == 48

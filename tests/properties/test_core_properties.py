@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) of k-core invariants.
+
+These check mathematical properties of the decomposition itself, with
+BZ as the oracle and the fast path / kernels as subjects:
+
+* degree bound: ``core(v) <= deg(v)``;
+* k-core property: the induced k-core subgraph has min degree >= k;
+* monotonicity: adding an edge never lowers any core number;
+* permutation invariance: relabelling the graph permutes core numbers;
+* h-index fixpoint: MPM's fixpoint equals the peeling result;
+* subgraph bound: core numbers in a subgraph never exceed the host's.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fastpath import peel_fast
+from repro.cpu.bz import bz_core_numbers
+from repro.cpu.mpm import mpm_core_numbers
+from repro.graph.csr import CSRGraph
+
+MAX_N = 24
+
+
+@st.composite
+def graphs(draw, max_n=MAX_N):
+    """Random simple undirected graphs as CSRGraph."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), max_size=3 * n)
+                 ) if possible else []
+    return CSRGraph.from_edges(edges, num_vertices=n)
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_fast_path_matches_bz(graph):
+    assert np.array_equal(peel_fast(graph), bz_core_numbers(graph))
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_core_bounded_by_degree(graph):
+    core = bz_core_numbers(graph)
+    assert (core <= graph.degrees).all()
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_kcore_subgraph_min_degree(graph):
+    core = bz_core_numbers(graph)
+    kmax = int(core.max()) if core.size else 0
+    for k in range(1, kmax + 1):
+        members = np.flatnonzero(core >= k)
+        sub = graph.induced_subgraph(members)
+        if sub.num_vertices:
+            assert sub.degrees.min() >= k
+
+
+@given(graphs(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_adding_edge_never_lowers_core(graph, data):
+    n = graph.num_vertices
+    if n < 2:
+        return
+    u = data.draw(st.integers(0, n - 1))
+    v = data.draw(st.integers(0, n - 1))
+    if u == v:
+        return
+    before = bz_core_numbers(graph)
+    extended = CSRGraph.from_edges(
+        np.vstack([graph.edge_array().reshape(-1, 2), [[u, v]]]),
+        num_vertices=n,
+    )
+    after = bz_core_numbers(extended)
+    assert (after >= before).all()
+
+
+@given(graphs(), st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_permutation_invariance(graph, rnd):
+    n = graph.num_vertices
+    perm = list(range(n))
+    rnd.shuffle(perm)
+    perm = np.asarray(perm)
+    relabelled = CSRGraph.from_edges(
+        np.column_stack([
+            perm[graph.edge_array()[:, 0]],
+            perm[graph.edge_array()[:, 1]],
+        ]) if graph.num_edges else np.empty((0, 2), dtype=np.int64),
+        num_vertices=n,
+    )
+    core = bz_core_numbers(graph)
+    core_relabelled = bz_core_numbers(relabelled)
+    assert np.array_equal(core_relabelled[perm], core)
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_hindex_fixpoint_equals_peeling(graph):
+    mpm_core, _ = mpm_core_numbers(graph)
+    assert np.array_equal(mpm_core, bz_core_numbers(graph))
+
+
+@given(graphs(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_subgraph_cores_bounded_by_host(graph, data):
+    n = graph.num_vertices
+    if n < 2:
+        return
+    keep = data.draw(
+        st.lists(st.integers(0, n - 1), min_size=1, max_size=n, unique=True)
+    )
+    keep = np.asarray(sorted(keep))
+    sub = graph.induced_subgraph(keep)
+    host_core = bz_core_numbers(graph)
+    sub_core = bz_core_numbers(sub)
+    assert (sub_core <= host_core[keep]).all()
+
+
+@given(graphs())
+@settings(max_examples=30, deadline=None)
+def test_shells_partition(graph):
+    core = bz_core_numbers(graph)
+    sizes = np.bincount(core) if core.size else np.array([0])
+    assert sizes.sum() == graph.num_vertices
+
+
+@given(graphs())
+@settings(max_examples=25, deadline=None)
+def test_gpu_kernels_match_oracle(graph):
+    """The simulated kernels themselves under hypothesis's graphs."""
+    from repro.core.host import gpu_peel
+
+    result = gpu_peel(graph)
+    assert np.array_equal(result.core, bz_core_numbers(graph))

@@ -1,0 +1,70 @@
+"""Property-based tests of incremental core maintenance.
+
+For arbitrary small graphs and update streams, the maintainer must
+always agree with a fresh BZ recomputation — the strongest statement
+about the subcore traversal logic.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.maintenance import DynamicCoreMaintainer
+from repro.cpu.bz import bz_core_numbers
+
+MAX_N = 14
+
+
+@st.composite
+def update_streams(draw):
+    n = draw(st.integers(min_value=2, max_value=MAX_N))
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    return n, ops
+
+
+@given(update_streams())
+@settings(max_examples=60, deadline=None)
+def test_insert_stream_matches_recompute(stream):
+    n, ops = stream
+    maintainer = DynamicCoreMaintainer(num_vertices=n)
+    for u, v in ops:
+        maintainer.insert_edge(u, v)
+    fresh = bz_core_numbers(maintainer.to_graph())
+    assert np.array_equal(maintainer.core_numbers(), fresh)
+
+
+@given(update_streams(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_mixed_stream_matches_recompute(stream, data):
+    n, ops = stream
+    maintainer = DynamicCoreMaintainer(num_vertices=n)
+    for u, v in ops:
+        if u == v:
+            continue
+        if maintainer.has_edge(u, v) and data.draw(st.booleans()):
+            maintainer.remove_edge(u, v)
+        else:
+            maintainer.insert_edge(u, v)
+        fresh = bz_core_numbers(maintainer.to_graph())
+        assert np.array_equal(maintainer.core_numbers(), fresh)
+
+
+@given(update_streams())
+@settings(max_examples=40, deadline=None)
+def test_updates_change_cores_by_at_most_one(stream):
+    n, ops = stream
+    maintainer = DynamicCoreMaintainer(num_vertices=n)
+    for u, v in ops:
+        before = maintainer.core_numbers()
+        maintainer.insert_edge(u, v)
+        after = maintainer.core_numbers()
+        assert (np.abs(after - before) <= 1).all()
+        assert (after >= before).all()

@@ -1,0 +1,54 @@
+"""GSWITCH emulation tests."""
+
+import pytest
+
+from repro.errors import DeviceOutOfMemoryError
+from repro.systems.gswitch import gswitch_decompose
+from repro.systems.gunrock import gunrock_decompose
+from tests.conftest import assert_cores_equal
+
+
+def test_battery(battery_graph):
+    graph, reference = battery_graph
+    result = gswitch_decompose(graph)
+    assert_cores_equal(result.core, reference, "gswitch")
+
+
+def test_faster_than_gunrock(er_graph):
+    """Autotuning + compacted active sets: GSWITCH's Table III edge."""
+    graph, _ = er_graph
+    assert (
+        gswitch_decompose(graph).simulated_ms
+        < gunrock_decompose(graph).simulated_ms
+    )
+
+
+def test_hardcoded_round_count(fig1):
+    """The paper: GSWITCH cannot express the outer loop, so it runs a
+    hardcoded k_max + 1 rounds."""
+    graph, _ = fig1
+    result = gswitch_decompose(graph)
+    assert result.rounds == result.kmax + 1
+
+
+def test_autotuner_chooses_push_sometimes(er_graph):
+    graph, _ = er_graph
+    result = gswitch_decompose(graph)
+    assert 0 < result.stats["push_iterations"] <= result.stats["iterations"]
+
+
+def test_survives_graphs_that_kill_gunrock():
+    from repro.graph import datasets
+
+    g = datasets.load("arabic-2005")
+    with pytest.raises(DeviceOutOfMemoryError):
+        gunrock_decompose(g)
+    result = gswitch_decompose(g)  # GSWITCH still fits
+    assert result.kmax > 0
+
+
+def test_ooms_on_the_largest():
+    from repro.graph import datasets
+
+    with pytest.raises(DeviceOutOfMemoryError):
+        gswitch_decompose(datasets.load("webbase-2001"))

@@ -1,0 +1,41 @@
+"""Gunrock emulation tests."""
+
+import pytest
+
+from repro.errors import DeviceOutOfMemoryError
+from repro.systems.gunrock import gunrock_decompose
+from repro.systems.medusa import medusa_decompose
+from tests.conftest import assert_cores_equal
+
+
+def test_battery(battery_graph):
+    graph, reference = battery_graph
+    result = gunrock_decompose(graph)
+    assert_cores_equal(result.core, reference, "gunrock")
+
+
+def test_faster_than_medusa_peel(er_graph):
+    """Frontier-centric work beats all-edges-every-superstep work."""
+    graph, _ = er_graph
+    gunrock = gunrock_decompose(graph)
+    medusa = medusa_decompose(graph)
+    assert gunrock.simulated_ms < medusa.simulated_ms
+
+
+def test_iterations_counted(fig1):
+    result = gunrock_decompose(fig1[0])
+    assert result.stats["iterations"] >= result.rounds
+
+
+def test_edge_sized_frontiers_oom_on_big_graphs():
+    from repro.graph import datasets
+
+    with pytest.raises(DeviceOutOfMemoryError):
+        gunrock_decompose(datasets.load("arabic-2005"))
+
+
+def test_survives_mid_sized_graphs():
+    from repro.graph import datasets
+
+    result = gunrock_decompose(datasets.load("uk-2002"))
+    assert result.kmax > 0

@@ -1,0 +1,68 @@
+"""VETGA emulation tests."""
+
+import pytest
+
+from repro.errors import SimulatedTimeLimitExceeded
+from repro.systems.vetga import vetga_decompose, vetga_load_ms
+from tests.conftest import assert_cores_equal
+
+
+def test_battery(battery_graph):
+    graph, reference = battery_graph
+    result = vetga_decompose(graph)
+    assert_cores_equal(result.core, reference, "vetga")
+
+
+def test_full_length_vector_cost(er_graph):
+    """Every iteration pays n + m regardless of the active set."""
+    graph, _ = er_graph
+    result = vetga_decompose(graph)
+    from repro.systems.base import DEFAULT_TUNING
+
+    per_iter = (
+        (graph.num_vertices + graph.neighbors.size)
+        * DEFAULT_TUNING.vetga_vector_op_cycles
+        * DEFAULT_TUNING.vetga_passes_per_iteration
+    )
+    assert result.simulated_ms >= result.stats["iterations"] * per_iter / 1e6
+
+
+def test_load_time_grows_with_edges():
+    from repro.graph import datasets
+
+    small = vetga_load_ms(datasets.load("amazon0601"))
+    big = vetga_load_ms(datasets.load("uk-2002"))
+    assert big > 5 * small
+
+
+def test_load_exceeds_budget_on_the_last_four():
+    """Table III's "LD > 1hr" rows: the four biggest graphs never
+    finish loading within the (scaled) hour."""
+    from repro.graph import datasets
+
+    for name in ("arabic-2005", "uk-2005", "webbase-2001", "it-2004"):
+        with pytest.raises(SimulatedTimeLimitExceeded):
+            vetga_decompose(datasets.load(name), time_budget_ms=400.0)
+
+
+def test_loadable_graphs_run_within_budget():
+    from repro.graph import datasets
+
+    result = vetga_decompose(datasets.load("uk-2002"), time_budget_ms=400.0)
+    assert result.kmax > 0
+
+
+def test_include_load_false_skips_the_check():
+    from repro.graph import datasets
+
+    result = vetga_decompose(
+        datasets.load("arabic-2005"), time_budget_ms=400.0, include_load=False
+    )
+    assert result.kmax > 0
+
+
+def test_slower_than_tailored_kernel(er_graph):
+    from repro.core.host import gpu_peel
+
+    graph, _ = er_graph
+    assert vetga_decompose(graph).simulated_ms > gpu_peel(graph).simulated_ms

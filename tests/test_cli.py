@@ -1,0 +1,76 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_decompose_file_summary(tmp_path, capsys):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n1 2\n0 2\n2 3\n")
+    assert main(["--input", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "k_max (degeneracy): 2" in out
+    assert "vertices: 4" in out
+
+
+def test_output_file(tmp_path, capsys):
+    src = tmp_path / "g.txt"
+    src.write_text("0 1\n1 2\n0 2\n")
+    dst = tmp_path / "cores.tsv"
+    assert main(["--input", str(src), "--output", str(dst)]) == 0
+    lines = dst.read_text().splitlines()
+    assert lines == ["0\t2", "1\t2", "2\t2"]
+
+
+def test_dataset_source(capsys):
+    assert main(["--dataset", "amazon0601", "--algorithm", "bz"]) == 0
+    out = capsys.readouterr().out
+    assert "algorithm: bz" in out
+
+
+def test_shells_and_top(tmp_path, capsys):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n1 2\n0 2\n2 3\n")
+    assert main(["--input", str(path), "--shells", "--top", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "k=2: 3" in out
+    assert "top 2 vertices" in out
+
+
+def test_simulated_algorithm_reports_metrics(tmp_path, capsys):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n1 2\n0 2\n")
+    assert main(["--input", str(path), "--algorithm", "gpu-ours"]) == 0
+    out = capsys.readouterr().out
+    assert "simulated time" in out
+
+
+def test_list_algorithms(capsys):
+    assert main(["--list-algorithms"]) == 0
+    out = capsys.readouterr().out
+    assert "gpu-ours" in out
+    assert "pkc" in out
+
+
+def test_list_datasets(capsys):
+    assert main(["--list-datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "trackers" in out
+
+
+def test_unknown_algorithm_exit_code(tmp_path, capsys):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n")
+    assert main(["--input", str(path), "--algorithm", "nope"]) == 2
+    assert "unknown algorithm" in capsys.readouterr().err
+
+
+def test_unknown_dataset_exit_code(capsys):
+    assert main(["--dataset", "nope"]) == 2
+    assert "unknown dataset" in capsys.readouterr().err
+
+
+def test_source_required():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,45 @@
+"""Smoke tests: the example scripts must run end to end.
+
+The two quick examples run in-process on every test pass; the longer
+scenario scripts are exercised by their own integration machinery (and
+by the benchmark suite, which covers the same code paths).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "Core numbers:" in out
+    assert "Simulated GPU run" in out
+    assert "web-Google analogue" in out
+
+
+def test_gpu_anatomy(capsys):
+    out = _run("gpu_anatomy.py", capsys)
+    assert "Ablation (Table II, this graph):" in out
+    assert "Buffer overflow" in out
+
+
+def test_examples_have_docstrings_and_main():
+    for script in EXAMPLES.glob("*.py"):
+        text = script.read_text()
+        assert text.lstrip().startswith(('#!/usr/bin/env python3', '"""')), script
+        assert '__main__' in text, script
+        assert 'def main(' in text, script
+
+
+def test_example_count():
+    """The deliverable requires at least three runnable examples."""
+    assert len(list(EXAMPLES.glob("*.py"))) >= 3

@@ -1,0 +1,56 @@
+"""DecompositionResult type tests."""
+
+import numpy as np
+import pytest
+
+from repro.result import DecompositionResult
+
+
+@pytest.fixture
+def result():
+    return DecompositionResult(
+        core=np.array([3, 3, 2, 1, 1, 0]),
+        algorithm="test",
+        simulated_ms=1.5,
+        peak_memory_bytes=1024,
+        rounds=4,
+        stats={"x": 1},
+    )
+
+
+def test_core_coerced_to_int64():
+    r = DecompositionResult(core=[1, 2], algorithm="t")
+    assert r.core.dtype == np.int64
+
+
+def test_basic_fields(result):
+    assert result.num_vertices == 6
+    assert result.kmax == 3
+    assert result.core_number_of(2) == 2
+
+
+def test_shell_and_core_queries(result):
+    assert result.shell(1).tolist() == [3, 4]
+    assert result.core_vertices(2).tolist() == [0, 1, 2]
+    assert result.shell_sizes().tolist() == [1, 2, 1, 2]
+
+
+def test_empty_result():
+    r = DecompositionResult(core=np.empty(0), algorithm="t")
+    assert r.kmax == 0
+    assert r.num_vertices == 0
+    assert r.shell_sizes().tolist() == [0]
+
+
+def test_agreement():
+    a = DecompositionResult(core=np.array([1, 2]), algorithm="a")
+    b = DecompositionResult(core=np.array([1, 2]), algorithm="b")
+    c = DecompositionResult(core=np.array([1, 3]), algorithm="c")
+    assert a.agrees_with(b)
+    assert not a.agrees_with(c)
+
+
+def test_frozen():
+    r = DecompositionResult(core=np.array([1]), algorithm="t")
+    with pytest.raises(Exception):
+        r.algorithm = "other"
