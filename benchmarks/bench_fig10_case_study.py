@@ -15,7 +15,7 @@ from repro.analysis.case_study import (
     compare_snapshots,
     synthesize_citation_corpus,
 )
-from repro.bench.tables import write_table
+from repro.bench.tables import write_json, write_table
 from repro.core.fastpath import peel_fast
 
 YEAR1, YEAR2 = 1992, 2000
@@ -38,6 +38,18 @@ def test_fig10_case_study(result, corpus, benchmark):
         "fig10_case_study",
         "Fig. 10: co-citation network analysis\n"
         "=====================================\n" + result.summary(),
+    )
+    write_json(
+        "fig10_case_study",
+        "Fig. 10: co-citation network analysis",
+        ["snapshot", "kmax"],
+        [[f"G1 ({YEAR1})", result.kmax1], [f"G2 ({YEAR2})", result.kmax2]],
+        qualitative={
+            "persistent_authors": len(result.persistent),
+            "emerged_authors": len(result.emerged),
+            "dropped_authors": len(result.dropped),
+            "deeper_second_core": result.kmax2 > result.kmax1,
+        },
     )
 
 

@@ -7,7 +7,7 @@ generation plus the reference decomposition.
 
 import pytest
 
-from repro.bench.tables import render_table, write_table
+from repro.bench.tables import render_table, write_json, write_table
 from repro.core.fastpath import peel_fast
 from repro.graph import datasets
 
@@ -32,14 +32,13 @@ def test_table1_dataset_statistics(dataset_names, benchmark):
         # fidelity assertions on the characteristics the paper's
         # analysis depends on (scaled, so only shapes are compared)
         assert graph.num_vertices > 0
-    table = render_table(
-        "Table I: datasets (analogue vs paper)",
-        ["dataset", "|V|", "|V| paper", "|E|", "|E| paper",
-         "davg", "davg paper", "std", "std paper",
-         "kmax", "kmax paper", "category"],
-        rows,
-    )
-    write_table("table1_datasets", table)
+    title = "Table I: datasets (analogue vs paper)"
+    columns = ["dataset", "|V|", "|V| paper", "|E|", "|E| paper",
+               "davg", "davg paper", "std", "std paper",
+               "kmax", "kmax paper", "category"]
+    write_table("table1_datasets", render_table(title, columns, rows))
+    write_json("table1_datasets", title, columns, rows,
+               qualitative={"num_datasets": len(rows)})
 
 
 def test_dataset_edge_order_matches_paper(dataset_names):

@@ -10,7 +10,7 @@ buffering overheads outweigh their savings.
 import numpy as np
 import pytest
 
-from repro.bench.tables import render_table, write_table
+from repro.bench.tables import render_table, write_json, write_table
 from repro.core.host import gpu_peel
 from repro.core.variants import variant_names
 from repro.cpu.bz import bz_core_numbers
@@ -41,13 +41,19 @@ def test_table2_ablation(ablation_rows, benchmark):
         [name] + [f"{per_variant[v]:.3f}" for v in VARIANTS]
         for name, per_variant in ablation_rows.items()
     ]
-    table = render_table(
-        "Table II: ablation study (simulated ms; * = row winner)",
-        ["dataset"] + list(VARIANTS),
-        table_rows,
-        highlight_min=True,
-    )
-    write_table("table2_ablation", table)
+    title = "Table II: ablation study (simulated ms; * = row winner)"
+    columns = ["dataset"] + list(VARIANTS)
+    write_table("table2_ablation",
+                render_table(title, columns, table_rows, highlight_min=True))
+    winners = {
+        name: min(per_variant, key=per_variant.get)
+        for name, per_variant in ablation_rows.items()
+    }
+    write_json("table2_ablation", title, columns, table_rows,
+               qualitative={
+                   "winners": winners,
+                   "ours_wins": sum(w == "ours" for w in winners.values()),
+               })
 
 
 def test_basic_variant_wins_almost_everywhere(ablation_rows):

@@ -8,7 +8,7 @@ budget, and "LD > 1hr" when VETGA's loading alone exceeds it.
 
 import pytest
 
-from repro.bench.tables import render_table, write_table
+from repro.bench.tables import render_table, write_json, write_table
 from repro.graph import datasets
 
 COLUMNS = ["gpu-ours", "vetga", "medusa-mpm", "medusa-peel",
@@ -30,13 +30,22 @@ def test_table3_gpu_programs(table3, benchmark):
         [name] + [outcomes[a].cell for a in COLUMNS]
         for name, outcomes in table3.items()
     ]
-    table = render_table(
-        "Table III: computation time of GPU programs (simulated ms)",
-        ["dataset"] + COLUMNS,
-        rows,
-        highlight_min=True,
-    )
-    write_table("table3_gpu", table)
+    title = "Table III: computation time of GPU programs (simulated ms)"
+    columns = ["dataset"] + COLUMNS
+    write_table("table3_gpu",
+                render_table(title, columns, rows, highlight_min=True))
+    write_json("table3_gpu", title, columns, rows,
+               qualitative={
+                   "ours_always_ok": all(
+                       o["gpu-ours"].status == "ok" for o in table3.values()
+                   ),
+                   "failures": {
+                       name: {a: o.status for a, o in outcomes.items()
+                              if o.status != "ok"}
+                       for name, outcomes in table3.items()
+                       if any(o.status != "ok" for o in outcomes.values())
+                   },
+               })
 
 
 def test_ours_always_wins(table3):

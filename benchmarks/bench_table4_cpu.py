@@ -9,7 +9,7 @@ pays off there; parallel speedups stay far below 48x.
 
 import pytest
 
-from repro.bench.tables import render_table, write_table
+from repro.bench.tables import render_table, write_json, write_table
 from repro.graph import datasets
 
 COLUMNS = [
@@ -33,13 +33,18 @@ def test_table4_cpu_programs(table4, benchmark):
         [name] + [outcomes[a].cell for a in COLUMNS]
         for name, outcomes in table4.items()
     ]
-    table = render_table(
-        "Table IV: computation time of CPU programs (simulated ms)",
-        ["dataset"] + COLUMNS,
-        rows,
-        highlight_min=True,
-    )
-    write_table("table4_cpu", table)
+    title = "Table IV: computation time of CPU programs (simulated ms)"
+    columns = ["dataset"] + COLUMNS
+    write_table("table4_cpu",
+                render_table(title, columns, rows, highlight_min=True))
+    write_json("table4_cpu", title, columns, rows,
+               qualitative={
+                   "gpu_always_wins": all(
+                       o[a].status != "ok"
+                       or o[a].simulated_ms > o["gpu-ours"].simulated_ms
+                       for o in table4.values() for a in COLUMNS[1:]
+                   ),
+               })
 
 
 def test_gpu_wins_over_every_cpu_program(table4):

@@ -11,7 +11,7 @@ and the systems' edge-proportional state blows up.
 import pytest
 
 from repro.bench.runner import run_program
-from repro.bench.tables import render_table, write_table
+from repro.bench.tables import render_table, write_json, write_table
 from repro.graph import datasets
 
 KERNEL_COLUMNS = ["gpu-ours", "gpu-sm", "gpu-vp", "gpu-ec", "gpu-bc"]
@@ -40,12 +40,16 @@ def test_table5_peak_memory(table5, benchmark):
         [name] + [outcomes[a].memory_cell for a in COLUMNS]
         for name, outcomes in table5.items()
     ]
-    table = render_table(
-        "Table V: peak device global-memory usage (MB; N/A = failed run)",
-        ["dataset"] + COLUMNS,
-        rows,
-    )
-    write_table("table5_memory", table)
+    title = "Table V: peak device global-memory usage (MB; N/A = failed run)"
+    columns = ["dataset"] + COLUMNS
+    write_table("table5_memory", render_table(title, columns, rows))
+    write_json("table5_memory", title, columns, rows,
+               qualitative={
+                   "na_cells": sum(
+                       1 for outcomes in table5.values()
+                       for a in COLUMNS if outcomes[a].memory_cell == "N/A"
+                   ),
+               })
 
 
 def test_buffering_variants_match_ours_footprint(table5):

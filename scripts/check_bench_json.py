@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Validate bench JSON artefacts against the ``repro.bench/v1`` schema.
+
+Usage::
+
+    python scripts/check_bench_json.py [PATH ...]
+
+With no arguments, validates every ``*.json`` in ``benchmarks/results/``
+(and flags ``.txt`` tables missing their JSON sibling).  Explicit paths
+may be files or directories.  Exit status 0 when everything conforms,
+1 otherwise.  The same checks run in CI via
+``tests/test_bench_json.py``; the logic lives in
+:mod:`repro.bench.schema`.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.schema import validate_file, validate_results_dir  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    targets = argv or [str(REPO_ROOT / "benchmarks" / "results")]
+    problems: list[str] = []
+    checked = 0
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            checked += len(list(path.glob("*.json")))
+            problems.extend(validate_results_dir(path))
+        elif path.exists():
+            checked += 1
+            problems.extend(validate_file(path))
+        else:
+            problems.append(f"{path}: no such file or directory")
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    print(f"checked {checked} record(s): "
+          f"{'FAIL' if problems else 'OK'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

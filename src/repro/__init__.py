@@ -13,12 +13,15 @@ The package provides:
 * ``repro.systems`` — Medusa / Gunrock / GSWITCH / VETGA emulations;
 * ``repro.analysis`` — shells, core hierarchy, and the Fig. 10 case
   study;
-* ``repro.bench`` — the harness that regenerates the paper's tables.
+* ``repro.bench`` — the harness that regenerates the paper's tables;
+* ``repro.obs`` — the structured tracing / metrics layer
+  (``docs/OBSERVABILITY.md``).
 """
 
 from repro.api import ALGORITHMS, algorithm_names, decompose
 from repro.core.decomposer import KCoreDecomposer
 from repro.graph.csr import CSRGraph
+from repro.obs import Tracer, start_tracing, stop_tracing, tracing
 from repro.result import DecompositionResult
 
 __version__ = "1.0.0"
@@ -30,5 +33,9 @@ __all__ = [
     "KCoreDecomposer",
     "CSRGraph",
     "DecompositionResult",
+    "Tracer",
+    "start_tracing",
+    "stop_tracing",
+    "tracing",
     "__version__",
 ]

@@ -1,0 +1,150 @@
+"""Machine-readable bench results: the ``repro.bench/v1`` record.
+
+Every table bench persists, next to its fixed-width ``.txt`` artefact,
+a JSON file with the same rows in a stable schema so downstream tools
+(regression dashboards, the paper-comparison notebook) never have to
+parse the pretty-printed text:
+
+.. code-block:: json
+
+    {
+      "schema": "repro.bench/v1",
+      "name": "table3_gpu",
+      "title": "Table III: computation time of GPU programs ...",
+      "columns": ["dataset", "gpu-ours", "vetga", ...],
+      "rows": [{"dataset": "web-Google", "cells": ["12.4", "318.0", ...]}],
+      "qualitative": {"ours_always_wins": true}
+    }
+
+``cells`` are kept as the rendered strings (they carry non-numeric
+outcomes such as ``"OOM"`` and ``"> 1hr"`` exactly as the paper prints
+them); ``qualitative`` is a free-form dict of booleans/numbers that a
+bench uses to record the shape claims its assertions checked.
+
+:func:`validate_record` returns a list of problems (empty = valid);
+``scripts/check_bench_json.py`` and the tier-1 test
+``tests/test_bench_json.py`` are thin wrappers around it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "build_record",
+    "validate_record",
+    "validate_file",
+    "validate_results_dir",
+]
+
+SCHEMA_VERSION = "repro.bench/v1"
+
+
+def build_record(
+    name: str,
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    qualitative: Mapping[str, Any] | None = None,
+) -> Dict[str, Any]:
+    """Assemble a schema-conforming record from ``render_table`` inputs.
+
+    ``rows`` are the same row lists handed to
+    :func:`repro.bench.tables.render_table`: first element the dataset
+    name, the rest the cell values (stringified here).
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": str(name),
+        "title": str(title),
+        "columns": [str(c) for c in columns],
+        "rows": [
+            {"dataset": str(row[0]), "cells": [str(c) for c in row[1:]]}
+            for row in rows
+        ],
+        "qualitative": dict(qualitative) if qualitative else {},
+    }
+
+
+def validate_record(record: Any) -> List[str]:
+    """Check a parsed record against ``repro.bench/v1``; return problems."""
+    errors: List[str] = []
+    if not isinstance(record, dict):
+        return [f"record must be an object, got {type(record).__name__}"]
+    if record.get("schema") != SCHEMA_VERSION:
+        errors.append(
+            f"schema must be {SCHEMA_VERSION!r}, got {record.get('schema')!r}"
+        )
+    for key in ("name", "title"):
+        if not isinstance(record.get(key), str) or not record.get(key):
+            errors.append(f"{key} must be a non-empty string")
+    columns = record.get("columns")
+    if (
+        not isinstance(columns, list)
+        or not columns
+        or not all(isinstance(c, str) for c in columns)
+    ):
+        errors.append("columns must be a non-empty list of strings")
+        columns = None
+    rows = record.get("rows")
+    if not isinstance(rows, list):
+        errors.append("rows must be a list")
+        rows = []
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            errors.append(f"rows[{i}] must be an object")
+            continue
+        if not isinstance(row.get("dataset"), str) or not row.get("dataset"):
+            errors.append(f"rows[{i}].dataset must be a non-empty string")
+        cells = row.get("cells")
+        if not isinstance(cells, list) or not all(
+            isinstance(c, str) for c in cells
+        ):
+            errors.append(f"rows[{i}].cells must be a list of strings")
+        elif columns is not None and len(cells) != len(columns) - 1:
+            errors.append(
+                f"rows[{i}] has {len(cells)} cells for "
+                f"{len(columns) - 1} value columns"
+            )
+    if "qualitative" in record and not isinstance(
+        record["qualitative"], dict
+    ):
+        errors.append("qualitative must be an object when present")
+    return errors
+
+
+def validate_file(path: str | Path) -> List[str]:
+    """Validate one ``.json`` artefact; parse errors become problems."""
+    path = Path(path)
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [f"{path.name}: unreadable ({exc})"]
+    problems = validate_record(record)
+    if isinstance(record, dict) and record.get("name"):
+        expected = f"{record['name']}.json"
+        if path.name != expected:
+            problems.append(
+                f"file name {path.name!r} does not match record "
+                f"name ({expected!r})"
+            )
+    return [f"{path.name}: {p}" for p in problems]
+
+
+def validate_results_dir(directory: str | Path) -> List[str]:
+    """Validate every ``*.json`` under a results directory.
+
+    Also flags a ``.txt`` table that has no ``.json`` sibling, so a
+    bench that forgot the JSON writer fails the tier-1 check.
+    """
+    directory = Path(directory)
+    problems: List[str] = []
+    for path in sorted(directory.glob("*.json")):
+        problems.extend(validate_file(path))
+    for txt in sorted(directory.glob("*.txt")):
+        if not txt.with_suffix(".json").exists():
+            problems.append(f"{txt.name}: missing JSON sibling")
+    return problems

@@ -3,15 +3,20 @@
 Each bench regenerates one table of the paper; these helpers format
 the rows identically across benches and persist them under
 ``benchmarks/results/`` so the tee'd bench output and the saved
-artefacts agree.
+artefacts agree.  :func:`write_json` persists the same rows as a
+machine-readable ``repro.bench/v1`` record (see
+:mod:`repro.bench.schema`) next to the text artefact.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
-from typing import Iterable, List, Sequence
+from typing import Any, Iterable, List, Mapping, Sequence
 
-__all__ = ["render_table", "write_table", "results_dir"]
+from repro.bench.schema import build_record
+
+__all__ = ["render_table", "write_table", "write_json", "results_dir"]
 
 
 def render_table(
@@ -65,4 +70,24 @@ def write_table(name: str, text: str) -> Path:
     path = results_dir() / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[saved to {path}]")
+    return path
+
+
+def write_json(
+    name: str,
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    qualitative: Mapping[str, Any] | None = None,
+) -> Path:
+    """Persist the same table as a ``repro.bench/v1`` JSON record.
+
+    ``columns``/``rows`` are exactly the arguments handed to
+    :func:`render_table`; call both writers with the same values and
+    the ``.txt`` and ``.json`` artefacts cannot drift apart.
+    """
+    record = build_record(name, title, columns, rows, qualitative)
+    path = results_dir() / f"{name}.json"
+    path.write_text(json.dumps(record, indent=1) + "\n")
+    print(f"[saved to {path}]")
     return path

@@ -3,12 +3,18 @@
 Decompose an edge-list file (or a named dataset analogue) with any
 registered algorithm and print core numbers or summary statistics —
 the workflow a graph analyst uses the released KCoreGPU binaries for.
+
+``--profile [FILE]`` installs a process-wide tracer (see
+:mod:`repro.obs`) for the run and writes a Chrome-trace JSON (default
+``trace.json``) loadable in Perfetto; every simulated device and CPU
+machine the chosen algorithm builds feeds the same timeline.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 import numpy as np
@@ -58,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--top", type=int, default=0, metavar="N",
         help="print the N vertices with the deepest core numbers",
+    )
+    parser.add_argument(
+        "--profile", nargs="?", const="trace.json", default=None,
+        metavar="FILE",
+        help="trace the run and write a Chrome-trace/Perfetto JSON "
+             "timeline here (default: trace.json)",
     )
     return parser
 
@@ -111,7 +123,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     else:
         graph = read_edgelist(args.input)
 
-    result = decompose(graph, args.algorithm)
+    if args.profile:
+        from repro.obs import start_tracing, stop_tracing
+
+        tracer = start_tracing()
+        wall_start = time.perf_counter()
+        try:
+            result = decompose(graph, args.algorithm)
+        finally:
+            stop_tracing()
+        wall_ms = (time.perf_counter() - wall_start) * 1000.0
+        tracer.span(f"decompose {args.algorithm}", 0.0, wall_ms,
+                    cat="cli", track="wall", args={"clock": "wall"})
+        tracer.write(args.profile)
+        print(f"wrote trace ({len(tracer.events)} events, "
+              f"{len(tracer.counters)} counters) to {args.profile}")
+        if tracer.counters:
+            print("counters:")
+            for name in sorted(tracer.counters):
+                print(f"  {name}: {tracer.counters[name]:g}")
+    else:
+        result = decompose(graph, args.algorithm)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             for v, c in enumerate(result.core):

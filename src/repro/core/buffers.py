@@ -101,6 +101,13 @@ class BlockBufferView:
         locations = np.asarray(locations, dtype=np.int64)
         vertices = np.asarray(vertices, dtype=np.int64)
         self._check_overflow(locations)
+        if locations.size:
+            # observability: per-block fill high-water mark (metric only,
+            # no cycles charged — see BlockTiming.buffer_peak)
+            peak = float(int(locations.max()) + 1)
+            timing = ctx.block.timing
+            if peak > timing.buffer_peak:
+                timing.buffer_peak = peak
         if not self._use_shared:
             ctx.gstore(self._buf, self._physical(locations), vertices)
             return

@@ -8,9 +8,20 @@ execution mode once, then decompose graphs.
 * ``mode="simulate"`` — runs the paper's CUDA kernels on the SIMT
   simulator, producing simulated time/memory metrics and honouring the
   chosen ablation variant.
+
+Pass ``trace=True`` to record each ``decompose`` call with a fresh
+:class:`~repro.obs.tracer.Tracer` (see ``docs/OBSERVABILITY.md``): the
+returned result carries the tracer as ``result.trace`` — export a
+Perfetto timeline with ``result.trace.write("trace.json")`` — and its
+flat metrics in ``result.counters``.  In ``simulate`` mode the trace
+has one span per kernel launch and per host round on the simulated
+timeline; in ``fast`` mode it degrades to a single wall-clock span
+(there is no simulated clock to trace against).
 """
 
 from __future__ import annotations
+
+import time
 
 from repro.core.fastpath import fast_decompose
 from repro.core.host import GpuPeelOptions, gpu_peel
@@ -19,6 +30,7 @@ from repro.errors import ReproError
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.spec import DeviceSpec
 from repro.graph.csr import CSRGraph
+from repro.obs.tracer import Tracer
 from repro.result import DecompositionResult
 
 __all__ = ["KCoreDecomposer"]
@@ -44,6 +56,7 @@ class KCoreDecomposer:
         spec: DeviceSpec | None = None,
         cost_model: CostModel | None = None,
         options: GpuPeelOptions | None = None,
+        trace: bool = False,
     ) -> None:
         if mode not in _MODES:
             raise ReproError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -52,17 +65,37 @@ class KCoreDecomposer:
         self.spec = spec
         self.cost_model = cost_model
         self.options = options
+        self.trace = trace
 
     def decompose(self, graph: CSRGraph) -> DecompositionResult:
         """Compute the core number of every vertex of ``graph``."""
+        tracer = Tracer() if self.trace else None
         if self.mode == "fast":
-            return fast_decompose(graph)
+            if tracer is None:
+                return fast_decompose(graph)
+            wall_start = time.perf_counter()
+            result = fast_decompose(graph)
+            wall_ms = (time.perf_counter() - wall_start) * 1000.0
+            tracer.span("fast_decompose", 0.0, wall_ms, cat="host",
+                        track="wall", args={"clock": "wall"})
+            tracer.put("host.wall_ms", wall_ms)
+            return DecompositionResult(
+                core=result.core,
+                algorithm=result.algorithm,
+                simulated_ms=result.simulated_ms,
+                peak_memory_bytes=result.peak_memory_bytes,
+                rounds=result.rounds,
+                stats=result.stats,
+                counters=dict(tracer.counters),
+                trace=tracer,
+            )
         return gpu_peel(
             graph,
             variant=self.variant,
             spec=self.spec,
             cost_model=self.cost_model,
             options=self.options,
+            tracer=tracer,
         )
 
     def core_numbers(self, graph: CSRGraph):

@@ -4,6 +4,17 @@ Loads the CSR graph into simulated device memory, allocates the
 per-block buffers, and alternates ``scan(k)`` / ``loop(k)`` kernel
 launches until every vertex is removed.  The mutable device ``deg``
 array converges to the core numbers and is read back at the end.
+
+Observability: the host loop is the producer of the per-round signals
+(``docs/OBSERVABILITY.md``).  It always collects the per-round frontier
+sizes (``result.stats["frontier_per_round"]``) and folds the flat
+``host.* / frontier.* / buffer.* / kernel.* / device.*`` counters into
+``result.counters`` — these are cheap aggregates of quantities the
+simulator tallies anyway, so they exist with tracing off and are
+byte-identical to an untraced run.  With a tracer attached to the
+device, each round additionally becomes a ``"host"``-track span
+enclosing its two kernel spans, plus a ``frontier`` counter-track
+sample — the per-round decay Perfetto plots directly.
 """
 
 from __future__ import annotations
@@ -20,6 +31,7 @@ from repro.gpusim.costmodel import CostModel
 from repro.gpusim.device import Device
 from repro.gpusim.spec import DeviceSpec
 from repro.graph.csr import CSRGraph
+from repro.obs.tracer import Tracer
 from repro.result import DecompositionResult
 
 __all__ = ["gpu_peel", "GpuPeelOptions"]
@@ -50,6 +62,7 @@ def gpu_peel(
     spec: DeviceSpec | None = None,
     cost_model: CostModel | None = None,
     options: GpuPeelOptions | None = None,
+    tracer: Tracer | None = None,
 ) -> DecompositionResult:
     """Run the paper's GPU peeling algorithm on the simulator.
 
@@ -63,11 +76,16 @@ def gpu_peel(
             and ``cost_model``.
         options: further tunables; ``options.variant`` is overridden by
             the explicit ``variant`` argument when both are given.
+        tracer: an explicit :class:`~repro.obs.tracer.Tracer` for this
+            run (``KCoreDecomposer(trace=True)`` passes one); without
+            it, a freshly created device still picks up the process-wide
+            active tracer, and a pre-built ``device`` keeps its own.
 
     Returns:
         A :class:`DecompositionResult` whose ``simulated_ms`` /
-        ``peak_memory_bytes`` come from the device cost model, and whose
-        ``stats`` include per-phase cycle splits for the ablation.
+        ``peak_memory_bytes`` come from the device cost model, whose
+        ``stats`` include per-phase cycle splits for the ablation, and
+        whose ``counters`` carry the documented observability metrics.
     """
     opts = options or GpuPeelOptions()
     chosen = variant
@@ -82,7 +100,10 @@ def gpu_peel(
             time_budget_ms=opts.time_budget_ms,
             preempt_prob=opts.preempt_prob,
             seed=opts.seed,
+            tracer=tracer,
         )
+    elif tracer is not None:
+        device.tracer = tracer
     spec = device.spec
     if cfg.prefetch and spec.warps_per_block < 2:
         raise ReproError(
@@ -116,8 +137,11 @@ def gpu_peel(
             "compaction_scratch", 3 * grid_dim * spec.default_block_dim
         )
 
+    tr = device.tracer
     scan_cycles = 0.0
     loop_cycles = 0.0
+    buffer_peak = 0.0
+    frontier_per_round: list[int] = []
     count = 0
     k = 0
     max_rounds = graph.max_degree + 2  # k_max <= max degree
@@ -127,10 +151,16 @@ def gpu_peel(
                 f"peeling made no progress after {k} rounds "
                 f"({count}/{n} vertices removed)"
             )
+        round_span = (
+            tr.begin(f"round k={k}", device.elapsed_ms, cat="round")
+            if tr is not None else None
+        )
         stats = device.launch(
             scan_kernel, args=(k, deg_d, buf_d, tails_d, n, capacity, cfg)
         )  # Line 6
         scan_cycles += stats.cycles
+        if stats.buffer_peak > buffer_peak:
+            buffer_peak = stats.buffer_peak
         stats = device.launch(
             loop_kernel,
             args=(
@@ -139,10 +169,40 @@ def gpu_peel(
             ),
         )  # Line 7
         loop_cycles += stats.cycles
-        count = int(device.read_back(count_d)[0])  # Line 8
+        if stats.buffer_peak > buffer_peak:
+            buffer_peak = stats.buffer_peak
+        new_count = int(device.read_back(count_d)[0])  # Line 8
+        frontier_per_round.append(new_count - count)
+        if tr is not None:
+            tr.end(round_span, device.elapsed_ms,
+                   args={"k": k, "frontier": new_count - count,
+                         "removed": new_count})
+            tr.sample("frontier", device.elapsed_ms, new_count - count)
+        count = new_count
         k += 1  # Line 9
 
     core = device.read_back(deg_d)  # Line 10
+    effective_capacity = capacity + shared_capacity
+    counters = {
+        "host.rounds": float(k),
+        "kernel.scan.launches": float(k),
+        "kernel.loop.launches": float(k),
+        "kernel.scan.cycles": scan_cycles,
+        "kernel.loop.cycles": loop_cycles,
+        "frontier.peak": float(max(frontier_per_round, default=0)),
+        "frontier.total": float(count),
+        "frontier.mean": float(count) / k if k else 0.0,
+        "buffer.peak_fill": buffer_peak,
+        "buffer.capacity": float(effective_capacity),
+        "buffer.peak_occupancy": (
+            buffer_peak / effective_capacity if effective_capacity else 0.0
+        ),
+    }
+    counters.update(device.counters())
+    if tr is not None:
+        for name, value in counters.items():
+            if not name.startswith("device."):  # device.* already live
+                tr.put(name, value)
     return DecompositionResult(
         core=core,
         algorithm=f"gpu-{cfg.name}",
@@ -157,5 +217,8 @@ def gpu_peel(
             "grid_dim": grid_dim,
             "block_dim": spec.default_block_dim,
             "variant": cfg.name,
+            "frontier_per_round": frontier_per_round,
         },
+        counters=counters,
+        trace=tr,
     )

@@ -15,6 +15,11 @@ Variants change two things:
   frontier batch into shared memory while the other warps compute;
 * *appending* — BC/EC batch appends with warp-level compaction instead
   of per-lane shared atomics.
+
+Under tracing (``docs/OBSERVABILITY.md``) each launch of this kernel
+appears as a ``loop_kernel`` span on the ``device`` track; its shared
+and global atomic contention is tallied into the ``atomic_conflicts``
+span argument, and buffer appends drive the ``buffer_peak`` watermark.
 """
 
 from __future__ import annotations

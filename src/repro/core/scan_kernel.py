@@ -14,6 +14,10 @@ Three append schemes mirror the ablation variants:
 * ``block`` (EC) — the four-stage intra-block compaction of Fig. 9,
   one atomic per block per trip, at the price of three extra
   ``__syncthreads`` per trip and Warp-0-only stages.
+
+Under tracing (``docs/OBSERVABILITY.md``) each launch of this kernel
+appears as a ``scan_kernel`` span on the ``device`` track, annotated
+with cycles, memory transactions, barriers and atomic conflicts.
 """
 
 from __future__ import annotations

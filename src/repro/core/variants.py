@@ -11,6 +11,12 @@ optimisations:
 
 Ring buffers (Section IV-C) are an orthogonal robustness option, off by
 default as in the paper's ablation.
+
+Variants are observable end to end: run any of them with
+``KCoreDecomposer(mode="simulate", variant=..., trace=True)`` and the
+per-launch spans and ``kernel.*`` counters (``docs/OBSERVABILITY.md``)
+show exactly how the variant shifts work between atomics, barriers and
+memory transactions — the mechanics behind Table II.
 """
 
 from __future__ import annotations

@@ -110,6 +110,9 @@ def mpm_decompose(
             machine.barrier()
 
     simulated_ms = machine.finish()
+    counters = {"host.rounds": float(sweeps),
+                "cpu.sweeps": float(sweeps)}
+    counters.update(machine.counters())
     return DecompositionResult(
         core=core,
         algorithm="mpm" if parallel else "mpm-serial",
@@ -121,4 +124,6 @@ def mpm_decompose(
             "sweeps": sweeps,
             "total_ops": machine.total_ops,
         },
+        counters=counters,
+        trace=machine.tracer,
     )

@@ -101,6 +101,9 @@ def park_decompose(
         k += 1
 
     simulated_ms = machine.finish()
+    counters = {"host.rounds": float(k),
+                "cpu.sub_levels": float(sub_levels)}
+    counters.update(machine.counters())
     return DecompositionResult(
         core=core,
         algorithm="park" if parallel else "park-serial",
@@ -114,4 +117,6 @@ def park_decompose(
             "total_ops": machine.total_ops,
             "total_atomics": machine.total_atomics,
         },
+        counters=counters,
+        trace=machine.tracer,
     )

@@ -117,6 +117,9 @@ def pkc_decompose(
 
     simulated_ms = machine.finish()
     prefix = "pkc" if compact else "pkc-o"
+    counters = {"host.rounds": float(k),
+                "cpu.compactions": float(compacted)}
+    counters.update(machine.counters())
     return DecompositionResult(
         core=core,
         algorithm=prefix if parallel else f"{prefix}-serial",
@@ -130,4 +133,6 @@ def pkc_decompose(
             "total_ops": machine.total_ops,
             "total_atomics": machine.total_atomics,
         },
+        counters=counters,
+        trace=machine.tracer,
     )

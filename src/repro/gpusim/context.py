@@ -20,6 +20,22 @@ reschedule point, e.g. one trip of a loop).  Between yields a warp runs
 uninterrupted, so races are exercised by yielding — the optional
 ``preempt`` hook injects extra reschedule points to fuzz atomic
 interleavings.
+
+Observability
+-------------
+
+Every event the cost model charges is also *counted* in the block's
+:class:`~repro.gpusim.costmodel.BlockTiming`: warp-instructions in
+``issued``, coalescing-aware 128-byte transactions in
+``mem_transactions``, barrier generations in ``barriers``, and atomic
+lane-conflicts (lanes beyond the first hitting one address in a single
+warp atomic, global and shared combined) in ``atomic_conflicts``.  The
+scheduler folds these into per-launch
+:class:`~repro.gpusim.scheduler.KernelStats`, which the device's
+tracer hook (see :mod:`repro.obs`) exports as span arguments and flat
+counters.  Counting is unconditional — it is a handful of float adds
+the simulator performs anyway — while trace *events* are emitted only
+when a tracer is installed.
 """
 
 from __future__ import annotations
@@ -201,6 +217,7 @@ class WarpContext:
         old[order] = old_sorted
         np.add.at(array.data, idx_arr, delta)
         conflicts = n - distinct
+        self.block.timing.atomic_conflicts += conflicts
         self.issued += 1
         self.path += (
             self.cost.global_atomic_base
@@ -235,6 +252,7 @@ class WarpContext:
         """
         old = self.block.scalars.get(name, 0)
         self.block.scalars[name] = old + int(amount)
+        self.block.timing.atomic_conflicts += max(0, lanes - 1)
         self.issued += 1
         self.path += (
             self.cost.shared_atomic_base

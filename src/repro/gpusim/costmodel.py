@@ -97,7 +97,14 @@ class CostModel:
 
 @dataclass
 class BlockTiming:
-    """Raw per-block event totals the cost model combines."""
+    """Raw per-block event totals the cost model combines.
+
+    The first four fields feed :meth:`CostModel.block_cycles`; the last
+    two are *observability-only* tallies (they never influence time —
+    their cost is already inside ``max_warp_path``/``issued``) that the
+    scheduler aggregates into
+    :class:`~repro.gpusim.scheduler.KernelStats` for the tracer.
+    """
 
     #: total warp-instructions issued by all warps of the block
     issued: float = 0.0
@@ -108,3 +115,9 @@ class BlockTiming:
     max_warp_path: float = 0.0
     #: number of block-barrier generations the block executed
     barriers: int = 0
+    #: atomic lane-conflicts: lanes beyond the first hitting the same
+    #: address in one warp atomic, global + shared combined (metric only)
+    atomic_conflicts: float = 0.0
+    #: high-water mark of the block's vertex-buffer fill, in logical
+    #: buffer positions (metric only; tracked by ``BlockBufferView``)
+    buffer_peak: float = 0.0

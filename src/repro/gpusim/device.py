@@ -10,11 +10,38 @@ An optional ``time_budget_ms`` reproduces the paper's one-hour
 force-termination: when accumulated simulated time crosses the budget,
 the next launch raises
 :class:`~repro.errors.SimulatedTimeLimitExceeded`.
+
+Observability
+-------------
+
+The device is the central trace producer of the GPU stack (see
+:mod:`repro.obs` and ``docs/OBSERVABILITY.md``).  At construction it
+captures either an explicitly passed tracer or the process-wide one
+installed by :func:`repro.obs.start_tracing`; when that attribute is
+``None`` (the default) every hook below is a single ``is not None``
+test — no event objects are allocated on the cold path.
+
+With a tracer attached, the device emits, on the *simulated* timeline:
+
+* one ``"device"``-track span per :meth:`launch`, named after the
+  kernel function, carrying the launch's
+  :class:`~repro.gpusim.scheduler.KernelStats` (cycles, issued
+  warp-instructions, memory transactions, barriers, atomic conflicts,
+  buffer high-water mark) as span arguments;
+* one span per labelled :meth:`charge` — how the graph-parallel system
+  emulations surface their logical kernels (supersteps, advance/filter
+  iterations, vector passes);
+* instant markers for :meth:`malloc` / :meth:`free` with the
+  allocation size and the post-operation ``in_use`` figure;
+
+and accumulates the flat device counters ``device.kernel_launches``,
+``device.cycles``, ``device.mem_transactions``, ``device.barriers``
+and ``device.atomic_conflicts``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
@@ -23,6 +50,10 @@ from repro.gpusim.costmodel import CostModel
 from repro.gpusim.memory import DeviceArray, GlobalMemory
 from repro.gpusim.scheduler import KernelFn, KernelStats, run_kernel
 from repro.gpusim.spec import DeviceSpec
+from repro.obs.tracer import active_tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
 
 __all__ = ["Device"]
 
@@ -37,6 +68,7 @@ class Device:
         time_budget_ms: float | None = None,
         preempt_prob: float = 0.0,
         seed: int = 0,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.spec = spec or DeviceSpec()
         self.spec.validate()
@@ -51,6 +83,9 @@ class Device:
         self.kernel_launches = 0
         self.total_cycles = 0.0
         self.launch_log: list[KernelStats] = []
+        #: the attached tracer, or ``None`` (tracing off); an explicit
+        #: argument wins over the process-wide active tracer
+        self.tracer = tracer if tracer is not None else active_tracer()
 
     # -- memory -------------------------------------------------------------
 
@@ -58,11 +93,28 @@ class Device:
         self, name: str, size: int | np.ndarray, fill: int = 0
     ) -> DeviceArray:
         """``cudaMalloc`` (optionally with a host-to-device copy)."""
-        return self.memory.malloc(name, size, fill=fill, id_bytes=self.spec.id_bytes)
+        array = self.memory.malloc(
+            name, size, fill=fill, id_bytes=self.spec.id_bytes
+        )
+        tr = self.tracer
+        if tr is not None:
+            tr.instant(
+                f"malloc {name}", self.elapsed_ms, cat="memory",
+                track="device",
+                args={"bytes": array.device_bytes,
+                      "in_use": self.memory.in_use},
+            )
+        return array
 
     def free(self, name: str) -> None:
         """``cudaFree``."""
         self.memory.free(name)
+        tr = self.tracer
+        if tr is not None:
+            tr.instant(
+                f"free {name}", self.elapsed_ms, cat="memory",
+                track="device", args={"in_use": self.memory.in_use},
+            )
 
     def read_back(self, array: DeviceArray) -> np.ndarray:
         """``cudaMemcpyDeviceToHost``: a defensive copy of the data."""
@@ -83,12 +135,18 @@ class Device:
         Accumulates the kernel's cycles and the host-side launch
         overhead into the device clock, then enforces the time budget.
         """
+        tr = self.tracer
+        launch_ts = self.elapsed_ms if tr is not None else 0.0
+        grid = grid_dim if grid_dim is not None else self.spec.default_grid_dim
+        block = (
+            block_dim if block_dim is not None else self.spec.default_block_dim
+        )
         stats = run_kernel(
             kernel_fn,
             self.spec,
             self.cost_model,
-            grid_dim if grid_dim is not None else self.spec.default_grid_dim,
-            block_dim if block_dim is not None else self.spec.default_block_dim,
+            grid,
+            block,
             args=args,
             kwargs=kwargs,
             preempt_prob=self.preempt_prob,
@@ -97,10 +155,37 @@ class Device:
         self.kernel_launches += 1
         self.total_cycles += stats.cycles
         self.launch_log.append(stats)
+        if tr is not None:
+            tr.span(
+                getattr(kernel_fn, "__name__", "kernel"),
+                launch_ts,
+                self.elapsed_ms - launch_ts,
+                cat="kernel",
+                track="device",
+                args={
+                    "grid_dim": grid, "block_dim": block,
+                    "cycles": stats.cycles, "issued": stats.issued,
+                    "mem_transactions": stats.mem_transactions,
+                    "barriers": stats.barriers,
+                    "atomic_conflicts": stats.atomic_conflicts,
+                    "buffer_peak": stats.buffer_peak,
+                },
+            )
+            tr.add("device.kernel_launches", 1)
+            tr.add("device.cycles", stats.cycles)
+            tr.add("device.mem_transactions", stats.mem_transactions)
+            tr.add("device.barriers", stats.barriers)
+            tr.add("device.atomic_conflicts", stats.atomic_conflicts)
         self._check_budget()
         return stats
 
-    def charge(self, cycles: float = 0.0, launches: int = 0) -> None:
+    def charge(
+        self,
+        cycles: float = 0.0,
+        launches: int = 0,
+        label: str | None = None,
+        args: dict | None = None,
+    ) -> None:
         """Account for device work executed outside the SIMT scheduler.
 
         The graph-parallel system emulations compute their work (edges
@@ -108,9 +193,23 @@ class Device:
         convert it to cycles with their own tuning constants; this books
         that time against the device clock so the same time budget and
         metrics apply to every GPU program.
+
+        ``label`` names the logical kernel for the tracer: when tracing
+        is on, a labelled charge becomes a ``"device"``-track span
+        covering the charged interval, with ``args`` attached.
         """
+        tr = self.tracer
+        charge_ts = self.elapsed_ms if tr is not None else 0.0
         self.total_cycles += cycles
         self.kernel_launches += launches
+        if tr is not None:
+            if label is not None:
+                tr.span(
+                    label, charge_ts, self.elapsed_ms - charge_ts,
+                    cat="system", track="device", args=args,
+                )
+            tr.add("device.kernel_launches", launches)
+            tr.add("device.cycles", cycles)
         self._check_budget()
 
     # -- metrics --------------------------------------------------------------
@@ -126,6 +225,25 @@ class Device:
     def peak_memory_bytes(self) -> int:
         """High-water mark of device global memory."""
         return self.memory.peak
+
+    def counters(self) -> dict[str, float]:
+        """Flat device-level metrics over every launch so far.
+
+        Computed on demand from the launch log (so it is available with
+        tracing off too); keys match the tracer's ``device.*`` counters.
+        """
+        log = self.launch_log
+        return {
+            "device.kernel_launches": float(self.kernel_launches),
+            "device.cycles": float(self.total_cycles),
+            "device.mem_transactions": float(
+                sum(s.mem_transactions for s in log)
+            ),
+            "device.barriers": float(sum(s.barriers for s in log)),
+            "device.atomic_conflicts": float(
+                sum(s.atomic_conflicts for s in log)
+            ),
+        }
 
     def _check_budget(self) -> None:
         if self.time_budget_ms is not None and self.elapsed_ms > self.time_budget_ms:

@@ -8,6 +8,16 @@ harness reports as "OOM" exactly like Tables III and V.
 A :class:`DeviceArray` is backed by a host numpy array (int64 for
 indexing convenience) but accounted at the device width (4-byte IDs by
 default), matching how the paper stores graphs compactly.
+
+Observability
+-------------
+:class:`GlobalMemory` itself stays tracer-free; the owning
+:class:`~repro.gpusim.device.Device` wraps :meth:`GlobalMemory.malloc`
+/ :meth:`GlobalMemory.free` and emits ``malloc <name>`` / ``free
+<name>`` instant events (with byte counts and the running ``in_use``
+watermark) on the ``device`` track when tracing is enabled — see
+``docs/OBSERVABILITY.md``.  ``peak`` feeds the
+``device.peak_memory_bytes`` figure reported by every result.
 """
 
 from __future__ import annotations

@@ -1,11 +1,26 @@
 """Cooperative scheduler: runs a kernel grid of warp generators.
 
-All warps of all blocks share one round-robin run queue, so work from
-different blocks interleaves — cross-block races on global memory (the
-scenario of the paper's Fig. 6) actually occur.  ``__syncthreads``
-(yielding :data:`~repro.gpusim.context.BARRIER`) parks a warp until
-every still-running warp of its block arrives, matching CUDA semantics
-where exited threads no longer participate.
+Execution model (blocks ▸ warps ▸ lanes): a launch instantiates the
+kernel generator once per warp — ``grid_dim`` blocks of
+``block_dim / 32`` warps, each warp advancing its 32 lanes in numpy
+lockstep.  All warps of all blocks share one round-robin run queue, so
+work from different blocks interleaves — cross-block races on global
+memory (the scenario of the paper's Fig. 6) actually occur.
+``__syncthreads`` (yielding :data:`~repro.gpusim.context.BARRIER`)
+parks a warp until every still-running warp of its block arrives,
+matching CUDA semantics where exited threads no longer participate; a
+block whose warps can never all arrive raises
+:class:`~repro.errors.KernelDeadlockError`.
+
+Cost-model units: each warp accumulates *warp-instructions* (``issued``)
+and *serial-path cycles* (``path``: instructions + dependent-load
+stalls + atomic serialisation); blocks additionally count 128-byte
+memory transactions and barrier generations.  At teardown these fold
+into one :class:`~repro.gpusim.costmodel.BlockTiming` per block, the
+roofline cost model combines them into kernel cycles, and the whole
+launch is summarised as a :class:`KernelStats` — the record the
+device-level tracer hook (:mod:`repro.obs`) attaches to each kernel
+span.
 """
 
 from __future__ import annotations
@@ -28,13 +43,21 @@ KernelFn = Callable[..., Generator[str, None, None]]
 
 @dataclass(frozen=True)
 class KernelStats:
-    """Aggregated outcome of one kernel launch."""
+    """Aggregated outcome of one kernel launch.
+
+    ``atomic_conflicts`` and ``buffer_peak`` are observability-only
+    tallies (see :class:`~repro.gpusim.costmodel.BlockTiming`):
+    conflicts sum over all blocks, ``buffer_peak`` is the fullest
+    single block buffer in logical positions.
+    """
 
     cycles: float
     issued: float
     mem_transactions: float
     barriers: int
     max_warp_path: float
+    atomic_conflicts: float = 0.0
+    buffer_peak: float = 0.0
 
     def milliseconds(self, cost: CostModel) -> float:
         """Kernel duration in simulated milliseconds (device time only)."""
@@ -127,4 +150,6 @@ def run_kernel(
         mem_transactions=sum(t.mem_transactions for t in timings),
         barriers=sum(t.barriers for t in timings),
         max_warp_path=max(t.max_warp_path for t in timings) if timings else 0.0,
+        atomic_conflicts=sum(t.atomic_conflicts for t in timings),
+        buffer_peak=max(t.buffer_peak for t in timings) if timings else 0.0,
     )

@@ -9,13 +9,27 @@ imbalance, atomic contention and sync overhead — the reasons the
 paper's CPU programs fall far short of 48x speedup — thus emerge from
 the recorded counts rather than from nondeterministic real threading
 (which the GIL would distort anyway).
+
+Observability
+-------------
+When a process-wide tracer is active (:func:`repro.obs.start_tracing`)
+at construction time, every barrier-delimited epoch becomes an
+``epoch`` span on the ``cpu`` track of the shared timeline, annotated
+with the straggler's op count and the epoch's atomic count.  The hooks
+only *read* the clock; traced and untraced runs charge identical time.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.multicore.costmodel import CpuCostModel
+from repro.obs import active_tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
 
 __all__ = ["SimulatedMulticore"]
 
@@ -23,7 +37,12 @@ __all__ = ["SimulatedMulticore"]
 class SimulatedMulticore:
     """Per-thread op accounting with barrier-delimited epochs."""
 
-    def __init__(self, cost: CpuCostModel | None = None, threads: int | None = None):
+    def __init__(
+        self,
+        cost: CpuCostModel | None = None,
+        threads: int | None = None,
+        tracer: "Tracer | None" = None,
+    ):
         self.cost = cost or CpuCostModel()
         self.threads = threads if threads is not None else self.cost.threads
         self._epoch_ops = np.zeros(self.threads, dtype=np.float64)
@@ -32,6 +51,7 @@ class SimulatedMulticore:
         self.barriers = 0
         self.total_ops = 0.0
         self.total_atomics = 0.0
+        self.tracer = tracer if tracer is not None else active_tracer()
 
     def add_ops(self, thread: int, count: float) -> None:
         """Record ``count`` simple operations performed by ``thread``."""
@@ -49,24 +69,50 @@ class SimulatedMulticore:
         self._epoch_ops += count / self.threads
         self.total_ops += count
 
-    def barrier(self) -> None:
-        """Close the epoch: charge the straggler thread plus sync fee."""
+    def _close_epoch(self, sync: bool) -> None:
         epoch_ns = float(
             (self._epoch_ops * self.cost.op_ns
              + self._epoch_atomics * self.cost.atomic_ns).max()
         ) if self.threads else 0.0
-        self.elapsed_ms += epoch_ns / 1e6 + self.cost.sync_us / 1e3
-        self.barriers += 1
+        tr = self.tracer
+        if tr is not None and (epoch_ns or sync):
+            start_ms = self.elapsed_ms
+            dur_ms = epoch_ns / 1e6 + (self.cost.sync_us / 1e3 if sync else 0)
+            tr.span(
+                "epoch", start_ms, dur_ms, cat="cpu", track="cpu",
+                args={
+                    "straggler_ops": float(self._epoch_ops.max())
+                    if self.threads else 0.0,
+                    "atomics": float(self._epoch_atomics.sum()),
+                    "threads": self.threads,
+                },
+            )
+        self.elapsed_ms += epoch_ns / 1e6
+        if sync:
+            self.elapsed_ms += self.cost.sync_us / 1e3
         self._epoch_ops[:] = 0.0
         self._epoch_atomics[:] = 0.0
 
+    def barrier(self) -> None:
+        """Close the epoch: charge the straggler thread plus sync fee."""
+        self._close_epoch(sync=True)
+        self.barriers += 1
+
     def finish(self) -> float:
         """Flush any open epoch (without a sync fee) and return total ms."""
-        epoch_ns = float(
-            (self._epoch_ops * self.cost.op_ns
-             + self._epoch_atomics * self.cost.atomic_ns).max()
-        ) if self.threads else 0.0
-        self.elapsed_ms += epoch_ns / 1e6
-        self._epoch_ops[:] = 0.0
-        self._epoch_atomics[:] = 0.0
+        self._close_epoch(sync=False)
+        tr = self.tracer
+        if tr is not None:
+            tr.add("cpu.barriers", self.barriers)
+            tr.add("cpu.ops", self.total_ops)
+            tr.add("cpu.atomics", self.total_atomics)
         return self.elapsed_ms
+
+    def counters(self) -> dict:
+        """Flat observability counters for this machine (``cpu.*``)."""
+        return {
+            "cpu.threads": float(self.threads),
+            "cpu.barriers": float(self.barriers),
+            "cpu.ops": float(self.total_ops),
+            "cpu.atomics": float(self.total_atomics),
+        }

@@ -1,0 +1,46 @@
+"""repro.obs — structured tracing & metrics for the simulated GPU stack.
+
+The observability layer has two halves:
+
+* :class:`~repro.obs.tracer.Tracer` — a low-overhead span/event/counter
+  recorder.  Producers (the gpusim device, the host peel loop, the
+  multicore CPU machine, the system emulations) emit spans on the
+  *simulated* timeline and accumulate flat named counters; consumers
+  read ``tracer.counters`` or export a Chrome-trace JSON timeline via
+  :meth:`~repro.obs.tracer.Tracer.to_chrome_trace` /
+  :meth:`~repro.obs.tracer.Tracer.write` and open it in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.
+* module-level activation — ``start_tracing()`` installs a process-wide
+  tracer that every subsequently created :class:`~repro.gpusim.device.
+  Device` and :class:`~repro.multicore.machine.SimulatedMulticore`
+  picks up, which is how ``python -m repro --profile`` traces any
+  registered algorithm without threading a tracer through every
+  signature.  ``KCoreDecomposer(trace=True)`` instead builds a private
+  tracer per run and attaches it to the returned result.
+
+Every hook is zero-cost when tracing is off: producers hold a single
+``tracer`` attribute that is ``None`` by default, and every hot-path
+hook is guarded by one ``is not None`` test — no event objects, no
+string formatting, no allocation happens on the cold path.
+
+See ``docs/OBSERVABILITY.md`` for the span/counter model, the full
+counter catalogue, and a worked Perfetto example.
+"""
+
+from repro.obs.chrome import validate_chrome_trace
+from repro.obs.tracer import (
+    Tracer,
+    active_tracer,
+    start_tracing,
+    stop_tracing,
+    tracing,
+)
+
+__all__ = [
+    "Tracer",
+    "active_tracer",
+    "start_tracing",
+    "stop_tracing",
+    "tracing",
+    "validate_chrome_trace",
+]

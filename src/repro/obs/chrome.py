@@ -1,0 +1,89 @@
+"""Chrome-trace ("Trace Event Format") schema validation.
+
+The exporter in :mod:`repro.obs.tracer` emits the *JSON object format*:
+``{"traceEvents": [...], "displayTimeUnit": "ms", "otherData": {...}}``
+with complete (``X``), instant (``i``), counter (``C``) and metadata
+(``M``) events — the subset both ``chrome://tracing`` and Perfetto
+load.  :func:`validate_chrome_trace` checks an exported object against
+that subset so tests (and the bench JSON validator) can fail fast on a
+malformed export instead of producing a file Perfetto silently drops
+events from.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+__all__ = ["validate_chrome_trace"]
+
+#: event phases the exporter emits
+_PHASES = {"X", "i", "C", "M", "B", "E"}
+
+_NUMERIC = (int, float)
+
+
+def _check_event(event: Any, index: int, errors: List[str]) -> None:
+    where = f"traceEvents[{index}]"
+    if not isinstance(event, dict):
+        errors.append(f"{where}: not an object")
+        return
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(f"{where}: missing or empty 'name'")
+    ph = event.get("ph")
+    if ph not in _PHASES:
+        errors.append(f"{where}: 'ph' must be one of {sorted(_PHASES)}, "
+                      f"got {ph!r}")
+        return
+    if ph == "M":
+        if not isinstance(event.get("args"), dict):
+            errors.append(f"{where}: metadata event needs an 'args' object")
+        return
+    ts = event.get("ts")
+    if not isinstance(ts, _NUMERIC) or isinstance(ts, bool):
+        errors.append(f"{where}: 'ts' must be a number, got {ts!r}")
+    for key in ("pid", "tid"):
+        value = event.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            errors.append(f"{where}: {key!r} must be an integer")
+    if ph == "X":
+        dur = event.get("dur")
+        if not isinstance(dur, _NUMERIC) or isinstance(dur, bool):
+            errors.append(f"{where}: complete event needs numeric 'dur'")
+        elif dur < 0:
+            errors.append(f"{where}: negative 'dur' {dur}")
+    if ph == "C":
+        args = event.get("args")
+        if not isinstance(args, dict) or not args:
+            errors.append(f"{where}: counter event needs non-empty 'args'")
+        else:
+            for key, value in args.items():
+                if not isinstance(value, _NUMERIC) or isinstance(value, bool):
+                    errors.append(
+                        f"{where}: counter series {key!r} is not numeric"
+                    )
+
+
+def validate_chrome_trace(trace: Any) -> List[str]:
+    """Validate an exported trace object; returns a list of problems.
+
+    An empty list means the object conforms to the subset of the Trace
+    Event Format documented in the module docstring.
+    """
+    errors: List[str] = []
+    if not isinstance(trace, dict):
+        return ["trace must be a JSON object (the object format)"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace must have a 'traceEvents' list"]
+    for index, event in enumerate(events):
+        _check_event(event, index, errors)
+    other = trace.get("otherData")
+    if other is not None:
+        if not isinstance(other, dict):
+            errors.append("'otherData' must be an object")
+        else:
+            counters = other.get("counters")
+            if counters is not None and not isinstance(counters, dict):
+                errors.append("'otherData.counters' must be an object")
+    return errors

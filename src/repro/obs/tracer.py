@@ -1,0 +1,305 @@
+"""The structured tracer: spans, instants, counter tracks, flat counters.
+
+Model
+-----
+
+A :class:`Tracer` records *events on a timeline* plus *flat counters*:
+
+* **span** — a named interval ``[ts, ts + dur)`` on one track.  Spans
+  come from :meth:`Tracer.span` (a completed interval, the common case:
+  the producer knows both clock readings) or a :meth:`Tracer.begin` /
+  :meth:`Tracer.end` pair, which additionally enforces well-nested
+  (LIFO) ordering per track — ending a span that is not the innermost
+  open one on its track raises ``ValueError``.
+* **instant** — a zero-duration marker (e.g. a ``malloc``).
+* **counter sample** — a ``(name, ts, value)`` point; Perfetto renders
+  these as a counter track (e.g. frontier size per peel round).
+* **flat counters** — a ``name -> float`` dict accumulated with
+  :meth:`Tracer.add` / :meth:`Tracer.peak`, independent of the
+  timeline.  These are what producers fold into
+  ``DecompositionResult.counters``.
+
+Timeline and tracks
+-------------------
+
+``ts``/``dur`` are **simulated milliseconds** (the device or multicore
+clock), not wall time — the trace answers "where did the simulated time
+go", which is the quantity the paper's tables report.  Tracks are named
+strings (``"device"``, ``"host"``, ``"cpu"``, ``"wall"``); the exporter
+maps each distinct track to a Chrome-trace ``tid`` and emits metadata
+events so Perfetto shows the names.
+
+Activation
+----------
+
+``start_tracing()`` installs a module-global tracer that producers pick
+up *at construction time*; ``stop_tracing()`` uninstalls and returns
+it.  The :func:`tracing` context manager pairs the two.  Nothing in
+this module is consulted on any hot path — producers cache the tracer
+(or ``None``) in an attribute once.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Tracer",
+    "SpanHandle",
+    "active_tracer",
+    "start_tracing",
+    "stop_tracing",
+    "tracing",
+]
+
+#: microseconds per simulated millisecond (Chrome-trace ``ts`` unit)
+_US_PER_MS = 1000.0
+
+
+class SpanHandle:
+    """An open span returned by :meth:`Tracer.begin`; pass to ``end``."""
+
+    __slots__ = ("name", "cat", "track", "ts_ms", "args")
+
+    def __init__(
+        self, name: str, cat: str, track: str, ts_ms: float,
+        args: Optional[dict],
+    ) -> None:
+        self.name = name
+        self.cat = cat
+        self.track = track
+        self.ts_ms = ts_ms
+        self.args = args
+
+
+class Tracer:
+    """Span/counter recorder; see the module docstring for the model."""
+
+    def __init__(self, name: str = "repro") -> None:
+        self.name = name
+        #: recorded events, in emission order; each is a dict with at
+        #: least ``kind`` (span | instant | counter), ``name``, ``ts``
+        self._events: List[Dict[str, Any]] = []
+        self._counters: Dict[str, float] = {}
+        #: per-track stacks of open begin() spans, for nesting checks
+        self._open: Dict[str, List[SpanHandle]] = {}
+
+    # -- spans ---------------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        ts_ms: float,
+        dur_ms: float,
+        cat: str = "host",
+        track: str = "host",
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a completed interval ``[ts_ms, ts_ms + dur_ms)``."""
+        self._events.append({
+            "kind": "span", "name": name, "cat": cat, "track": track,
+            "ts": float(ts_ms), "dur": max(0.0, float(dur_ms)),
+            "args": dict(args) if args else {},
+        })
+
+    def begin(
+        self,
+        name: str,
+        ts_ms: float,
+        cat: str = "host",
+        track: str = "host",
+        args: Optional[dict] = None,
+    ) -> SpanHandle:
+        """Open a span; close it with :meth:`end` (LIFO per track)."""
+        handle = SpanHandle(name, cat, track, float(ts_ms), args)
+        self._open.setdefault(track, []).append(handle)
+        return handle
+
+    def end(
+        self, handle: SpanHandle, ts_ms: float,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Close the innermost open span of ``handle``'s track.
+
+        Raises ``ValueError`` if ``handle`` is not that span — spans
+        opened with :meth:`begin` must nest.
+        """
+        stack = self._open.get(handle.track, [])
+        if not stack or stack[-1] is not handle:
+            raise ValueError(
+                f"span {handle.name!r} is not the innermost open span "
+                f"on track {handle.track!r}"
+            )
+        stack.pop()
+        merged = dict(handle.args) if handle.args else {}
+        if args:
+            merged.update(args)
+        self.span(
+            handle.name, handle.ts_ms, float(ts_ms) - handle.ts_ms,
+            cat=handle.cat, track=handle.track, args=merged,
+        )
+
+    def open_spans(self, track: Optional[str] = None) -> int:
+        """Number of begin()-spans not yet ended (all tracks or one)."""
+        if track is not None:
+            return len(self._open.get(track, []))
+        return sum(len(stack) for stack in self._open.values())
+
+    # -- instants & counter samples ------------------------------------------
+
+    def instant(
+        self,
+        name: str,
+        ts_ms: float,
+        cat: str = "host",
+        track: str = "host",
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a zero-duration marker."""
+        self._events.append({
+            "kind": "instant", "name": name, "cat": cat, "track": track,
+            "ts": float(ts_ms), "args": dict(args) if args else {},
+        })
+
+    def sample(
+        self, name: str, ts_ms: float, value: float, track: str = "host"
+    ) -> None:
+        """Record one point of a counter track (Chrome ``ph: "C"``)."""
+        self._events.append({
+            "kind": "counter", "name": name, "track": track,
+            "ts": float(ts_ms), "value": float(value),
+        })
+
+    # -- flat counters -------------------------------------------------------
+
+    def add(self, name: str, value: float) -> None:
+        """Accumulate ``value`` into the flat counter ``name``."""
+        self._counters[name] = self._counters.get(name, 0.0) + float(value)
+
+    def peak(self, name: str, value: float) -> None:
+        """Fold ``value`` into ``name`` keeping the maximum seen."""
+        current = self._counters.get(name)
+        if current is None or value > current:
+            self._counters[name] = float(value)
+
+    def put(self, name: str, value: float) -> None:
+        """Set the flat counter ``name`` to ``value`` (last write wins)."""
+        self._counters[name] = float(value)
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        """The flat metrics dict (a live reference, not a copy)."""
+        return self._counters
+
+    @property
+    def events(self) -> Tuple[Dict[str, Any], ...]:
+        """The recorded events, in emission order."""
+        return tuple(self._events)
+
+    def span_names(self) -> List[str]:
+        """Names of all recorded spans, in emission order."""
+        return [e["name"] for e in self._events if e["kind"] == "span"]
+
+    # -- export --------------------------------------------------------------
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """Export as a Chrome-trace/Perfetto ``traceEvents`` JSON object.
+
+        Spans become complete (``ph: "X"``) events, instants ``"i"``,
+        counter samples ``"C"``; timestamps are converted from simulated
+        milliseconds to the format's microseconds.  Each distinct track
+        gets its own ``tid`` plus a ``thread_name`` metadata event.
+        """
+        pid = 1
+        tids: Dict[str, int] = {}
+        trace_events: List[Dict[str, Any]] = [{
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": self.name},
+        }]
+
+        def tid_of(track: str) -> int:
+            if track not in tids:
+                tids[track] = len(tids) + 1
+                trace_events.append({
+                    "name": "thread_name", "ph": "M", "pid": pid,
+                    "tid": tids[track], "args": {"name": track},
+                })
+            return tids[track]
+
+        for event in self._events:
+            tid = tid_of(event["track"])
+            ts = event["ts"] * _US_PER_MS
+            if event["kind"] == "span":
+                trace_events.append({
+                    "name": event["name"], "cat": event["cat"], "ph": "X",
+                    "ts": ts, "dur": event["dur"] * _US_PER_MS,
+                    "pid": pid, "tid": tid, "args": event["args"],
+                })
+            elif event["kind"] == "instant":
+                trace_events.append({
+                    "name": event["name"], "cat": event["cat"], "ph": "i",
+                    "ts": ts, "pid": pid, "tid": tid, "s": "t",
+                    "args": event["args"],
+                })
+            else:  # counter sample
+                trace_events.append({
+                    "name": event["name"], "ph": "C", "ts": ts,
+                    "pid": pid, "tid": tid,
+                    "args": {"value": event["value"]},
+                })
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "tool": "repro.obs",
+                "counters": dict(self._counters),
+            },
+        }
+
+    def write(self, path) -> None:
+        """Serialise :meth:`to_chrome_trace` to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=1)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+# -- module-level activation ------------------------------------------------
+
+_ACTIVE: Optional[Tracer] = None
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The installed process-wide tracer, or ``None`` (tracing off)."""
+    return _ACTIVE
+
+
+def start_tracing(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install ``tracer`` (or a fresh one) as the process-wide tracer.
+
+    Producers constructed *after* this call pick it up; already-built
+    devices keep whatever they were constructed with.
+    """
+    global _ACTIVE
+    _ACTIVE = tracer if tracer is not None else Tracer()
+    return _ACTIVE
+
+
+def stop_tracing() -> Optional[Tracer]:
+    """Uninstall and return the process-wide tracer (``None`` if off)."""
+    global _ACTIVE
+    tracer, _ACTIVE = _ACTIVE, None
+    return tracer
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """``with tracing() as tr:`` — scoped :func:`start_tracing`."""
+    installed = start_tracing(tracer)
+    try:
+        yield installed
+    finally:
+        stop_tracing()

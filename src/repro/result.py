@@ -33,6 +33,17 @@ class DecompositionResult:
             iterations the program executed.
         stats: free-form per-program counters (kernel launches, atomic
             ops, memory transactions, ...), for ablation reporting.
+        counters: flat ``name -> float`` observability metrics with the
+            documented names of ``docs/OBSERVABILITY.md`` (``device.*``,
+            ``host.*``, ``frontier.*``, ``buffer.*``, ``kernel.*``,
+            ``system.*``).  Unlike ``stats`` these names are a stable,
+            cross-program surface; empty for programs that predate the
+            tracing layer or model nothing.
+        trace: the :class:`~repro.obs.tracer.Tracer` that recorded the
+            run when tracing was enabled (``KCoreDecomposer(trace=True)``
+            or an active process-wide tracer), else ``None``.  Export
+            with ``result.trace.write("trace.json")`` and load in
+            Perfetto.
     """
 
     core: np.ndarray
@@ -41,6 +52,8 @@ class DecompositionResult:
     peak_memory_bytes: int = 0
     rounds: int = 0
     stats: Mapping[str, Any] = field(default_factory=dict)
+    counters: Mapping[str, float] = field(default_factory=dict)
+    trace: Any = None
 
     def __post_init__(self) -> None:
         core = np.asarray(self.core, dtype=np.int64)

@@ -54,6 +54,8 @@ def gswitch_decompose(
     kmax = int(peel_fast(graph).max()) if n else 0
     iterations = 0
     pushes = 0
+    frontier_peak = 0
+    tr = device.tracer
     active = np.arange(n)  # compacted active set, maintained per round
     for k in range(kmax + 1):
         active = active[alive[active]]
@@ -61,10 +63,16 @@ def gswitch_decompose(
             cycles=active.size * tuning.gswitch_filter_vertex_cycles
             + tuning.gswitch_tuning_cycles,
             launches=tuning.gswitch_iteration_launches,
+            label="gswitch.filter",
+            args={"k": k, "active": int(active.size)},
         )
         frontier = active[deg[active] <= k]
         iterations += 1
         while frontier.size:
+            if frontier.size > frontier_peak:
+                frontier_peak = int(frontier.size)
+            if tr is not None:
+                tr.sample("frontier", device.elapsed_ms, frontier.size)
             core[frontier] = k
             alive[frontier] = False
             lengths = offsets[frontier + 1] - offsets[frontier]
@@ -79,6 +87,9 @@ def gswitch_decompose(
                 + active.size * tuning.gswitch_filter_vertex_cycles
                 + tuning.gswitch_tuning_cycles,
                 launches=tuning.gswitch_iteration_launches,
+                label="gswitch.iterate",
+                args={"k": k, "frontier": int(frontier.size),
+                      "mode": "push" if push_cost <= pull_cost else "pull"},
             )
             iterations += 1
             if total == 0:
@@ -95,6 +106,13 @@ def gswitch_decompose(
             deg[affected] -= counts[live]
             frontier = affected[deg[affected] <= k]
 
+    counters = {
+        "host.rounds": float(kmax + 1),
+        "system.iterations": float(iterations),
+        "system.push_iterations": float(pushes),
+        "frontier.peak": float(frontier_peak),
+    }
+    counters.update(device.counters())
     return DecompositionResult(
         core=core,
         algorithm="gswitch",
@@ -102,4 +120,6 @@ def gswitch_decompose(
         peak_memory_bytes=device.peak_memory_bytes,
         rounds=kmax + 1,
         stats={"iterations": iterations, "push_iterations": pushes},
+        counters=counters,
+        trace=tr,
     )

@@ -51,16 +51,23 @@ def gunrock_decompose(
     alive = np.ones(n, dtype=bool)
     remaining = n
     iterations = 0
+    frontier_peak = 0
+    tr = device.tracer
     k = 0
     while remaining > 0:
         # filter over the full vertex set for the initial frontier
         device.charge(
             cycles=n * tuning.gunrock_filter_vertex_cycles,
             launches=tuning.gunrock_iteration_launches,
+            label="gunrock.filter", args={"k": k},
         )
         frontier = np.flatnonzero(alive & (deg <= k))
         iterations += 1
         while frontier.size:
+            if frontier.size > frontier_peak:
+                frontier_peak = int(frontier.size)
+            if tr is not None:
+                tr.sample("frontier", device.elapsed_ms, frontier.size)
             core[frontier] = k
             alive[frontier] = False
             remaining -= frontier.size
@@ -71,6 +78,9 @@ def gunrock_decompose(
                 cycles=total * tuning.gunrock_advance_edge_cycles
                 + n * tuning.gunrock_filter_vertex_cycles,
                 launches=tuning.gunrock_iteration_launches,
+                label="gunrock.advance+filter",
+                args={"k": k, "frontier": int(frontier.size),
+                      "edges": total},
             )
             iterations += 1
             if total == 0:
@@ -88,6 +98,13 @@ def gunrock_decompose(
             frontier = affected[deg[affected] <= k]
         k += 1
 
+    counters = {
+        "host.rounds": float(k),
+        "system.iterations": float(iterations),
+        "frontier.peak": float(frontier_peak),
+        "frontier.total": float(n),
+    }
+    counters.update(device.counters())
     return DecompositionResult(
         core=core,
         algorithm="gunrock",
@@ -95,4 +112,6 @@ def gunrock_decompose(
         peak_memory_bytes=device.peak_memory_bytes,
         rounds=k,
         stats={"iterations": iterations},
+        counters=counters,
+        trace=tr,
     )

@@ -58,6 +58,9 @@ class MedusaEngine:
         self.device.charge(
             cycles=m2 * edge_cycles + n * self.tuning.medusa_vertex_cycles,
             launches=self.tuning.medusa_superstep_launches,
+            label="medusa.superstep",
+            args={"superstep": self.supersteps, "edges": int(m2),
+                  "vertices": int(n)},
         )
         self.supersteps += 1
 
@@ -135,6 +138,12 @@ def medusa_decompose(
     prog = MedusaMPM() if program == "mpm" else MedusaPeel()
     core = prog.run(engine)
     kmax = int(core.max()) if core.size else 0
+    counters = {
+        "host.rounds": float(kmax + 1),
+        "system.supersteps": float(engine.supersteps),
+        "system.edges_per_superstep": float(graph.neighbors.size),
+    }
+    counters.update(device.counters())
     return DecompositionResult(
         core=core,
         algorithm=prog.name,
@@ -142,4 +151,6 @@ def medusa_decompose(
         peak_memory_bytes=device.peak_memory_bytes,
         rounds=kmax + 1,
         stats={"supersteps": engine.supersteps},
+        counters=counters,
+        trace=device.tracer,
     )

@@ -56,6 +56,10 @@ def vetga_decompose(
         "vetga_temporaries", int(tuning.vetga_tensor_factor * (m2 + 2 * n))
     )
 
+    if load_ms and device.tracer is not None:
+        device.tracer.instant("vetga.load", 0.0, cat="system",
+                              track="host", args={"load_ms": load_ms})
+
     offsets, neighbors = graph.offsets, graph.neighbors
     sources = np.repeat(np.arange(n), np.diff(offsets))
     deg = graph.degrees.astype(np.int64).copy()
@@ -72,6 +76,8 @@ def vetga_decompose(
                 * tuning.vetga_vector_op_cycles
                 * tuning.vetga_passes_per_iteration,
                 launches=1,
+                label="vetga.vector_pass",
+                args={"k": k, "elements": int(n + m2)},
             )
             iterations += 1
             peel_mask = alive & (deg <= k)
@@ -85,6 +91,12 @@ def vetga_decompose(
             deg -= np.bincount(neighbors[edge_hits], minlength=n)
         k += 1
 
+    counters = {
+        "host.rounds": float(k),
+        "system.iterations": float(iterations),
+        "system.load_ms": float(load_ms),
+    }
+    counters.update(device.counters())
     return DecompositionResult(
         core=core,
         algorithm="vetga",
@@ -92,4 +104,6 @@ def vetga_decompose(
         peak_memory_bytes=device.peak_memory_bytes,
         rounds=k,
         stats={"iterations": iterations, "load_ms": load_ms},
+        counters=counters,
+        trace=device.tracer,
     )

@@ -1,0 +1,182 @@
+"""The observability layer: tracer semantics, export, zero-cost off."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.decomposer import KCoreDecomposer
+from repro.gpusim.device import Device
+from repro.graph.examples import fig1_graph
+from repro.obs import (
+    Tracer,
+    active_tracer,
+    start_tracing,
+    stop_tracing,
+    tracing,
+    validate_chrome_trace,
+)
+
+
+# -- tracer semantics --------------------------------------------------------
+
+
+def test_spans_nest_lifo():
+    tr = Tracer()
+    outer = tr.begin("outer", 0.0)
+    inner = tr.begin("inner", 1.0)
+    assert tr.open_spans() == 2
+    tr.end(inner, 2.0)
+    tr.end(outer, 3.0)
+    assert tr.open_spans() == 0
+    assert tr.span_names() == ["inner", "outer"]  # closed in LIFO order
+
+
+def test_out_of_order_end_raises():
+    tr = Tracer()
+    outer = tr.begin("outer", 0.0)
+    tr.begin("inner", 1.0)
+    with pytest.raises(ValueError, match="innermost"):
+        tr.end(outer, 2.0)
+
+
+def test_tracks_nest_independently():
+    tr = Tracer()
+    host = tr.begin("round", 0.0, track="host")
+    device = tr.begin("kernel", 0.5, track="device")
+    tr.end(host, 2.0)  # legal: different track's stack
+    tr.end(device, 1.5)
+    assert tr.open_spans("host") == 0
+    assert tr.open_spans("device") == 0
+
+
+def test_flat_counter_folding():
+    tr = Tracer()
+    tr.add("n", 2)
+    tr.add("n", 3)
+    tr.peak("p", 5)
+    tr.peak("p", 4)
+    tr.put("v", 1)
+    tr.put("v", 9)
+    assert tr.counters == {"n": 5.0, "p": 5.0, "v": 9.0}
+
+
+def test_activation_scoping():
+    assert active_tracer() is None
+    with tracing() as tr:
+        assert active_tracer() is tr
+        with tracing() as inner:
+            assert active_tracer() is inner
+    assert active_tracer() is None
+    installed = start_tracing()
+    assert stop_tracing() is installed
+    assert stop_tracing() is None
+
+
+# -- chrome export -----------------------------------------------------------
+
+
+def test_chrome_trace_validates_and_converts_units(tmp_path):
+    tr = Tracer()
+    tr.span("kernel", 1.5, 2.0, cat="kernel", track="device")
+    tr.instant("malloc deg", 0.0, track="device")
+    tr.sample("frontier", 2.0, 42.0)
+    tr.add("device.cycles", 100.0)
+    trace = tr.to_chrome_trace()
+    assert validate_chrome_trace(trace) == []
+    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert spans[0]["ts"] == 1500.0 and spans[0]["dur"] == 2000.0  # us
+    assert trace["otherData"]["counters"] == {"device.cycles": 100.0}
+
+    path = tmp_path / "trace.json"
+    tr.write(path)
+    assert validate_chrome_trace(json.loads(path.read_text())) == []
+
+
+def test_validator_catches_malformed_traces():
+    assert validate_chrome_trace({}) != []
+    assert validate_chrome_trace({"traceEvents": [{"ph": "X"}]}) != []
+    bad_dur = {"traceEvents": [
+        {"name": "a", "ph": "X", "ts": 0, "pid": 1, "tid": 1}
+    ]}
+    assert any("dur" in e for e in validate_chrome_trace(bad_dur))
+
+
+# -- end-to-end through the decomposer ---------------------------------------
+
+
+@pytest.fixture()
+def graph():
+    return fig1_graph()[0]
+
+
+def test_counters_reach_result(graph):
+    result = KCoreDecomposer(mode="simulate", trace=True).decompose(graph)
+    for name in (
+        "host.rounds", "frontier.peak", "buffer.peak_fill",
+        "device.kernel_launches", "device.mem_transactions",
+        "device.barriers", "device.atomic_conflicts",
+    ):
+        assert name in result.counters, name
+    assert result.counters["host.rounds"] >= 1
+    assert result.counters["device.kernel_launches"] >= 2
+
+
+def test_trace_has_kernel_and_round_spans(graph):
+    result = KCoreDecomposer(mode="simulate", trace=True).decompose(graph)
+    names = result.trace.span_names()
+    launches = int(result.counters["device.kernel_launches"])
+    rounds = int(result.counters["host.rounds"])
+    assert names.count("scan_kernel") + names.count("loop_kernel") == launches
+    assert sum(1 for n in names if n.startswith("round k=")) == rounds
+    assert validate_chrome_trace(result.trace.to_chrome_trace()) == []
+
+
+def test_tracing_off_is_byte_identical(graph):
+    traced = KCoreDecomposer(mode="simulate", trace=True).decompose(graph)
+    plain = KCoreDecomposer(mode="simulate").decompose(graph)
+    assert np.array_equal(traced.core, plain.core)
+    assert traced.simulated_ms == plain.simulated_ms
+    assert plain.trace is None
+    # the cheap aggregate counters are kept either way, and agree
+    assert plain.counters == traced.counters
+
+
+def test_fast_mode_trace_degrades_to_wall_span(graph):
+    result = KCoreDecomposer(mode="fast", trace=True).decompose(graph)
+    assert result.trace.span_names() == ["fast_decompose"]
+    assert "host.wall_ms" in result.counters
+
+
+def test_device_without_tracer_records_nothing(graph):
+    device = Device()
+    assert device.tracer is None
+    device.malloc("scratch", 8)
+    device.free("scratch")
+    assert device.counters()["device.kernel_launches"] == 0.0
+
+
+def test_cli_profile_writes_trace(tmp_path, capsys, monkeypatch):
+    from repro.cli import main
+
+    src = tmp_path / "g.txt"
+    src.write_text("0 1\n1 2\n0 2\n2 3\n")
+    out = tmp_path / "trace.json"
+    assert main(["--input", str(src), "--algorithm", "gpu-ours",
+                 "--profile", str(out)]) == 0
+    trace = json.loads(out.read_text())
+    assert validate_chrome_trace(trace) == []
+    assert any(e.get("cat") == "kernel" for e in trace["traceEvents"])
+    assert "device.cycles" in trace["otherData"]["counters"]
+    assert "wrote trace" in capsys.readouterr().out
+    assert active_tracer() is None  # CLI uninstalls its tracer
+
+
+def test_cli_without_profile_writes_no_trace(tmp_path, monkeypatch):
+    from repro.cli import main
+
+    monkeypatch.chdir(tmp_path)
+    src = tmp_path / "g.txt"
+    src.write_text("0 1\n1 2\n0 2\n")
+    assert main(["--input", str(src), "--algorithm", "gpu-ours"]) == 0
+    assert not (tmp_path / "trace.json").exists()

@@ -1,0 +1,115 @@
+"""The bench JSON artefact schema and its validator.
+
+Tier-1 guard for the machine-readable side of the bench harness: the
+``repro.bench/v1`` records written next to every ``.txt`` table must
+round-trip through :mod:`repro.bench.schema`, and the standalone
+``scripts/check_bench_json.py`` wrapper must agree with the library.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    build_record,
+    validate_file,
+    validate_record,
+    validate_results_dir,
+)
+from repro.bench import tables
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+CHECKER = REPO_ROOT / "scripts" / "check_bench_json.py"
+
+
+def sample_record():
+    return build_record(
+        "table9_sample",
+        "Table IX: a sample",
+        ["dataset", "ours", "other"],
+        [["web-Google", 12.5, "OOM"], ["trackers", 3, 4]],
+        qualitative={"ours_wins": True},
+    )
+
+
+def test_build_record_shape():
+    record = sample_record()
+    assert record["schema"] == SCHEMA_VERSION
+    assert record["columns"] == ["dataset", "ours", "other"]
+    assert record["rows"][0] == {
+        "dataset": "web-Google", "cells": ["12.5", "OOM"]
+    }
+    assert record["qualitative"] == {"ours_wins": True}
+
+
+def test_valid_record_passes():
+    assert validate_record(sample_record()) == []
+
+
+def test_validator_catches_problems():
+    record = sample_record()
+    record["schema"] = "repro.bench/v0"
+    record["rows"][0]["cells"].append("extra")
+    del record["rows"][1]["dataset"]
+    problems = validate_record(record)
+    assert any("schema" in p for p in problems)
+    assert any("cells" in p and "columns" in p for p in problems)
+    assert any("dataset" in p for p in problems)
+    assert validate_record([]) != []
+
+
+def test_write_json_roundtrip(tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr(tables, "results_dir", lambda: tmp_path)
+    path = tables.write_json(
+        "table9_sample", "Table IX: a sample",
+        ["dataset", "ours", "other"],
+        [["web-Google", 12.5, "OOM"]],
+    )
+    assert path == tmp_path / "table9_sample.json"
+    assert validate_file(path) == []
+    assert validate_results_dir(tmp_path) == []
+
+
+def test_txt_without_json_is_flagged(tmp_path):
+    (tmp_path / "table9_sample.txt").write_text("Table IX\n")
+    problems = validate_results_dir(tmp_path)
+    assert problems and "missing JSON sibling" in problems[0]
+
+
+def test_file_name_must_match_record_name(tmp_path):
+    path = tmp_path / "wrong_name.json"
+    path.write_text(json.dumps(sample_record()))
+    problems = validate_file(path)
+    assert any("does not match" in p for p in problems)
+
+
+def test_checker_script_ok_and_fail(tmp_path):
+    good = tmp_path / "table9_sample.json"
+    good.write_text(json.dumps(sample_record()))
+    proc = subprocess.run(
+        [sys.executable, str(CHECKER), str(good)],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "OK" in proc.stdout
+
+    bad = tmp_path / "broken.json"
+    bad.write_text("{not json")
+    proc = subprocess.run(
+        [sys.executable, str(CHECKER), str(bad)],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 1
+    assert "unreadable" in proc.stderr
+
+
+def test_checked_in_results_validate():
+    """Any committed benchmarks/results/*.json must conform."""
+    results = REPO_ROOT / "benchmarks" / "results"
+    problems = [
+        p for path in sorted(results.glob("*.json"))
+        for p in validate_file(path)
+    ]
+    assert problems == []
