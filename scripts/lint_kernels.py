@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Static lint pass over every shipped kernel module.
+
+Usage::
+
+    python scripts/lint_kernels.py [PATH ...]
+
+With no arguments, lints every kernel generator function in
+``src/repro/core`` and ``src/repro/systems`` (the default sweep CI
+runs).  Explicit paths may be files or directories of ``.py`` sources.
+Exit status 0 when every kernel is clean, 1 when any detector fired.
+The rules (illegal yields, wall clock, RNG, host-array mutation,
+barrier-free shared read-back) live in :mod:`repro.sanitize.lint`; see
+``docs/SANITIZER.md`` for the catalogue and the ``# sanitize: ok``
+suppression marker.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sanitize.lint import default_kernel_paths, lint_paths  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        paths: list[Path] = []
+        for target in argv:
+            path = Path(target)
+            if path.is_dir():
+                paths.extend(sorted(path.rglob("*.py")))
+            elif path.exists():
+                paths.append(path)
+            else:
+                print(f"{path}: no such file or directory", file=sys.stderr)
+                return 2
+    else:
+        paths = default_kernel_paths()
+    report = lint_paths(paths)
+    print(report.summary())
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

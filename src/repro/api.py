@@ -8,7 +8,8 @@ the paper's tables have.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from dataclasses import replace
+from typing import Callable, Dict, FrozenSet, Tuple
 
 from repro.core.fastpath import fast_decompose
 from repro.core.host import gpu_peel
@@ -27,7 +28,7 @@ from repro.systems.gunrock import gunrock_decompose
 from repro.systems.medusa import medusa_decompose
 from repro.systems.vetga import vetga_decompose
 
-__all__ = ["ALGORITHMS", "algorithm_names", "decompose"]
+__all__ = ["ALGORITHMS", "SANITIZABLE", "algorithm_names", "decompose"]
 
 Runner = Callable[..., DecompositionResult]
 
@@ -39,11 +40,24 @@ def _gpu_variant_runner(variant: str) -> Runner:
     return run
 
 
+def _fast_runner(
+    graph: CSRGraph, sanitize: bool = False, **kwargs
+) -> DecompositionResult:
+    result = fast_decompose(graph)
+    if not sanitize:
+        return result
+    # the native path launches no kernels: sanitize degrades to the
+    # static lint sweep over the shipped kernel sources
+    from repro.sanitize.lint import lint_repo
+
+    return replace(result, sanitizer=lint_repo())
+
+
 def _build_registry() -> Dict[str, Runner]:
     registry: Dict[str, Runner] = {
         # the paper's own program and its fast native path
         "gpu-ours": _gpu_variant_runner("ours"),
-        "fast": lambda graph, **kw: fast_decompose(graph),
+        "fast": _fast_runner,
         # CPU programs (Table IV)
         "networkx": networkx_style_decompose,
         "bz": bz_decompose,
@@ -79,6 +93,19 @@ def _build_registry() -> Dict[str, Runner]:
 
 #: name -> runner for every program in the repository
 ALGORITHMS: Dict[str, Runner] = _build_registry()
+
+#: algorithms whose runner accepts ``sanitize=True`` (the kernel
+#: sanitizer, ``docs/SANITIZER.md``): the simulated-GPU kernels get the
+#: dynamic racecheck, the system emulations and the native fast path
+#: get the static lint sweep; the CPU baselines model no device and
+#: support neither
+SANITIZABLE: FrozenSet[str] = frozenset(
+    name
+    for name in ALGORITHMS
+    if name == "fast"
+    or name.startswith("gpu-")
+    or name in ("vetga", "medusa-mpm", "medusa-peel", "gunrock", "gswitch")
+)
 
 
 def algorithm_names() -> Tuple[str, ...]:

@@ -8,6 +8,12 @@ the workflow a graph analyst uses the released KCoreGPU binaries for.
 :mod:`repro.obs`) for the run and writes a Chrome-trace JSON (default
 ``trace.json``) loadable in Perfetto; every simulated device and CPU
 machine the chosen algorithm builds feeds the same timeline.
+
+``--sanitize`` runs the kernel sanitizer (see ``docs/SANITIZER.md``)
+over the run: the simulated-GPU algorithms get the dynamic race
+detector on every kernel launch, the system emulations and the fast
+path get the static lint sweep.  The report is printed after the
+summary and error findings make the exit status 1.
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.api import algorithm_names, decompose
+from repro.api import SANITIZABLE, algorithm_names, decompose
 from repro.graph import datasets
 from repro.graph.io import read_edgelist
 
@@ -71,6 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace the run and write a Chrome-trace/Perfetto JSON "
              "timeline here (default: trace.json)",
     )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run the kernel sanitizer (race/barrier/lint checks) over "
+             "the run and print its report; error findings exit 1",
+    )
     return parser
 
 
@@ -113,6 +124,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: unknown algorithm {args.algorithm!r} "
               f"(see --list-algorithms)", file=sys.stderr)
         return 2
+    if args.sanitize and args.algorithm not in SANITIZABLE:
+        print(f"error: algorithm {args.algorithm!r} does not support "
+              f"--sanitize (supported: {', '.join(sorted(SANITIZABLE))})",
+              file=sys.stderr)
+        return 2
     if args.dataset:
         try:
             graph = datasets.load(args.dataset)
@@ -123,13 +139,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     else:
         graph = read_edgelist(args.input)
 
+    run_kwargs = {"sanitize": True} if args.sanitize else {}
     if args.profile:
         from repro.obs import start_tracing, stop_tracing
 
         tracer = start_tracing()
         wall_start = time.perf_counter()
         try:
-            result = decompose(graph, args.algorithm)
+            result = decompose(graph, args.algorithm, **run_kwargs)
         finally:
             stop_tracing()
         wall_ms = (time.perf_counter() - wall_start) * 1000.0
@@ -143,7 +160,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             for name in sorted(tracer.counters):
                 print(f"  {name}: {tracer.counters[name]:g}")
     else:
-        result = decompose(graph, args.algorithm)
+        result = decompose(graph, args.algorithm, **run_kwargs)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             for v, c in enumerate(result.core):
@@ -151,6 +168,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"wrote {result.num_vertices} core numbers to {args.output}")
     else:
         _summarise(args, graph, result)
+    if args.sanitize:
+        report = result.sanitizer
+        if report is None:
+            print("sanitizer: no report produced", file=sys.stderr)
+            return 1
+        print(report.summary())
+        if report.errors:
+            return 1
     return 0
 
 

@@ -17,6 +17,13 @@ flat metrics in ``result.counters``.  In ``simulate`` mode the trace
 has one span per kernel launch and per host round on the simulated
 timeline; in ``fast`` mode it degrades to a single wall-clock span
 (there is no simulated clock to trace against).
+
+Pass ``sanitize=True`` to check the run with the kernel sanitizer (see
+``docs/SANITIZER.md``): in ``simulate`` mode every kernel launch runs
+under the dynamic race detector; in ``fast`` mode (no kernels execute)
+it degrades to the static lint pass over the shipped kernel sources.
+Either way ``result.sanitizer`` carries the
+:class:`~repro.sanitize.report.SanitizerReport`.
 """
 
 from __future__ import annotations
@@ -57,6 +64,7 @@ class KCoreDecomposer:
         cost_model: CostModel | None = None,
         options: GpuPeelOptions | None = None,
         trace: bool = False,
+        sanitize: bool = False,
     ) -> None:
         if mode not in _MODES:
             raise ReproError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -66,19 +74,28 @@ class KCoreDecomposer:
         self.cost_model = cost_model
         self.options = options
         self.trace = trace
+        self.sanitize = sanitize
 
     def decompose(self, graph: CSRGraph) -> DecompositionResult:
         """Compute the core number of every vertex of ``graph``."""
         tracer = Tracer() if self.trace else None
         if self.mode == "fast":
-            if tracer is None:
+            # no kernels execute on this path, so "sanitize" degrades to
+            # the static lint pass over the shipped kernel sources
+            lint_report = None
+            if self.sanitize:
+                from repro.sanitize.lint import lint_repo
+
+                lint_report = lint_repo()
+            if tracer is None and lint_report is None:
                 return fast_decompose(graph)
             wall_start = time.perf_counter()
             result = fast_decompose(graph)
             wall_ms = (time.perf_counter() - wall_start) * 1000.0
-            tracer.span("fast_decompose", 0.0, wall_ms, cat="host",
-                        track="wall", args={"clock": "wall"})
-            tracer.put("host.wall_ms", wall_ms)
+            if tracer is not None:
+                tracer.span("fast_decompose", 0.0, wall_ms, cat="host",
+                            track="wall", args={"clock": "wall"})
+                tracer.put("host.wall_ms", wall_ms)
             return DecompositionResult(
                 core=result.core,
                 algorithm=result.algorithm,
@@ -86,8 +103,9 @@ class KCoreDecomposer:
                 peak_memory_bytes=result.peak_memory_bytes,
                 rounds=result.rounds,
                 stats=result.stats,
-                counters=dict(tracer.counters),
+                counters=dict(tracer.counters) if tracer is not None else {},
                 trace=tracer,
+                sanitizer=lint_report,
             )
         return gpu_peel(
             graph,
@@ -96,6 +114,7 @@ class KCoreDecomposer:
             cost_model=self.cost_model,
             options=self.options,
             tracer=tracer,
+            sanitize=self.sanitize,
         )
 
     def core_numbers(self, graph: CSRGraph):

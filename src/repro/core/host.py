@@ -53,6 +53,11 @@ class GpuPeelOptions:
     preempt_prob: float = 0.0
     #: RNG seed for the fuzzing schedule
     seed: int = 0
+    #: run every kernel launch under the dynamic race detector and
+    #: attach the :class:`~repro.sanitize.report.SanitizerReport` to the
+    #: result (``docs/SANITIZER.md``); costs host time only — simulated
+    #: time is unchanged
+    sanitize: bool = False
 
 
 def gpu_peel(
@@ -63,6 +68,7 @@ def gpu_peel(
     cost_model: CostModel | None = None,
     options: GpuPeelOptions | None = None,
     tracer: Tracer | None = None,
+    sanitize: bool | None = None,
 ) -> DecompositionResult:
     """Run the paper's GPU peeling algorithm on the simulator.
 
@@ -80,6 +86,10 @@ def gpu_peel(
             run (``KCoreDecomposer(trace=True)`` passes one); without
             it, a freshly created device still picks up the process-wide
             active tracer, and a pre-built ``device`` keeps its own.
+        sanitize: run every launch under the dynamic race detector
+            (overrides ``options.sanitize`` when given); the collected
+            :class:`~repro.sanitize.report.SanitizerReport` lands on
+            ``result.sanitizer``.
 
     Returns:
         A :class:`DecompositionResult` whose ``simulated_ms`` /
@@ -92,6 +102,7 @@ def gpu_peel(
     if variant == "ours" and opts.variant != "ours":
         chosen = opts.variant  # explicit argument wins over options
     cfg = chosen if isinstance(chosen, VariantConfig) else get_variant(chosen)
+    want_sanitize = opts.sanitize if sanitize is None else sanitize
 
     if device is None:
         device = Device(
@@ -101,9 +112,15 @@ def gpu_peel(
             preempt_prob=opts.preempt_prob,
             seed=opts.seed,
             tracer=tracer,
+            sanitize=want_sanitize,
         )
-    elif tracer is not None:
-        device.tracer = tracer
+    else:
+        if tracer is not None:
+            device.tracer = tracer
+        if want_sanitize and device.sanitizer is None:
+            from repro.sanitize.racecheck import KernelSanitizer
+
+            device.sanitizer = KernelSanitizer()
     spec = device.spec
     if cfg.prefetch and spec.warps_per_block < 2:
         raise ReproError(
@@ -116,6 +133,10 @@ def gpu_peel(
         return DecompositionResult(
             core=np.empty(0, dtype=np.int64),
             algorithm=f"gpu-{cfg.name}",
+            sanitizer=(
+                device.sanitizer.report
+                if device.sanitizer is not None else None
+            ),
         )
 
     grid_dim = spec.default_grid_dim
@@ -221,4 +242,7 @@ def gpu_peel(
         },
         counters=counters,
         trace=tr,
+        sanitizer=(
+            device.sanitizer.report if device.sanitizer is not None else None
+        ),
     )

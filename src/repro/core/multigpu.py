@@ -80,6 +80,7 @@ def multi_gpu_peel(
     spec: DeviceSpec | None = None,
     cost_model: CostModel | None = None,
     options: MultiGpuOptions | None = None,
+    sanitize: bool = False,
 ) -> DecompositionResult:
     """Decompose ``graph`` across ``num_devices`` simulated GPUs.
 
@@ -88,20 +89,31 @@ def multi_gpu_peel(
     plus the aggregation steps, and whose ``peak_memory_bytes`` is the
     busiest single device — the quantity that decides whether a graph
     too big for one GPU fits a partitioned cluster.
+
+    With ``sanitize=True`` every worker device shares one
+    :class:`~repro.sanitize.racecheck.KernelSanitizer`, so the report on
+    ``result.sanitizer`` aggregates findings across the whole cluster.
     """
     cfg = variant if isinstance(variant, VariantConfig) else get_variant(variant)
     spec = spec or DeviceSpec()
     opts = options or MultiGpuOptions()
+    sanitizer = None
+    if sanitize:
+        from repro.sanitize.racecheck import KernelSanitizer
+
+        sanitizer = KernelSanitizer()
     n = graph.num_vertices
     if n == 0:
         return DecompositionResult(
             core=np.empty(0, dtype=np.int64),
             algorithm=f"gpu-multi{num_devices}-{cfg.name}",
+            sanitizer=sanitizer.report if sanitizer is not None else None,
         )
 
     ranges = partition_ranges(graph, num_devices)
     devices = [
-        Device(spec=spec, cost_model=cost_model) for _ in range(num_devices)
+        Device(spec=spec, cost_model=cost_model, sanitizer=sanitizer)
+        for _ in range(num_devices)
     ]
     workers = []
     for d, (lo, hi) in enumerate(ranges):
@@ -218,4 +230,5 @@ def multi_gpu_peel(
             "partition_ranges": ranges,
             "per_device_ms": [d.elapsed_ms for d in devices],
         },
+        sanitizer=sanitizer.report if sanitizer is not None else None,
     )

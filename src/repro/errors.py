@@ -66,6 +66,29 @@ class BufferOverflowError(DeviceError):
         )
 
 
+class SharedMemoryExhaustedError(DeviceError, MemoryError):
+    """A shared-memory allocation exceeded the block's capacity.
+
+    The paper's SM variant sizes its buffer ``B`` against the 96 KB of
+    shared memory a P100 block may use (Section IV-B); asking for more
+    is a compile-time failure on the real device and this error on the
+    simulator.  Also derives from :class:`MemoryError` so callers that
+    treated the old untyped exception keep working.
+    """
+
+    def __init__(self, block: int, name: str, requested: int,
+                 in_use: int, capacity: int) -> None:
+        self.block = block
+        self.name = name
+        self.requested = requested
+        self.in_use = in_use
+        self.capacity = capacity
+        super().__init__(
+            f"block {block}: shared memory exhausted allocating {name!r} "
+            f"({requested} B requested, {in_use} B in use of {capacity} B)"
+        )
+
+
 class SimulatedTimeLimitExceeded(ReproError):
     """A program exceeded its simulated-time budget.
 
@@ -78,6 +101,21 @@ class SimulatedTimeLimitExceeded(ReproError):
         super().__init__(
             f"simulated time {elapsed_ms:.1f} ms exceeded budget "
             f"{budget_ms:.1f} ms"
+        )
+
+
+class SanitizerFindingsError(ReproError):
+    """A sanitized run produced findings and the caller asked to fail.
+
+    Raised by :meth:`repro.sanitize.SanitizerReport.raise_if_findings`;
+    carries the report so CI logs show every finding, not just a count.
+    """
+
+    def __init__(self, report) -> None:
+        self.report = report
+        super().__init__(
+            f"kernel sanitizer reported {len(report.findings)} finding(s):\n"
+            + report.summary()
         )
 
 

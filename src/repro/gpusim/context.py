@@ -36,17 +36,33 @@ tracer hook (see :mod:`repro.obs`) exports as span arguments and flat
 counters.  Counting is unconditional — it is a handful of float adds
 the simulator performs anyway — while trace *events* are emitted only
 when a tracer is installed.
+
+Sanitizing
+----------
+
+Every access method additionally carries a racecheck hook: when the
+launch runs under a :class:`~repro.sanitize.racecheck.LaunchMonitor`
+(``Device(sanitize=True)``), the access is mirrored into shadow logs
+keyed by exact location and barrier epoch, from which the sanitizer
+derives cross-warp race, barrier-divergence and ballot-hazard findings
+(``docs/SANITIZER.md``).  Recording never charges cycles, and with the
+monitor absent each hook is a single ``is not None`` test — the same
+cold-path discipline as the tracer.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
 
 import numpy as np
 
+from repro.errors import SharedMemoryExhaustedError
 from repro.gpusim.costmodel import BlockTiming, CostModel
 from repro.gpusim.memory import DeviceArray
 from repro.gpusim.spec import DeviceSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sanitize.racecheck import LaunchMonitor
 
 __all__ = ["BARRIER", "STEP", "BlockState", "WarpContext"]
 
@@ -75,15 +91,18 @@ class BlockState:
         self.waiting: list = []
 
     def alloc_shared(self, name: str, size: int) -> np.ndarray:
-        """Allocate a named shared-memory array of ``size`` IDs."""
+        """Allocate a named shared-memory array of ``size`` IDs.
+
+        Raises :class:`~repro.errors.SharedMemoryExhaustedError` when
+        the block's shared-memory capacity would be exceeded.
+        """
         if name in self.arrays:
             return self.arrays[name]
         needed = size * self.spec.id_bytes
         if self.shared_bytes_used + needed > self.spec.shared_memory_per_block_bytes:
-            raise MemoryError(
-                f"block {self.block_idx}: shared memory exhausted allocating "
-                f"{name!r} ({needed} B over "
-                f"{self.spec.shared_memory_per_block_bytes} B)"
+            raise SharedMemoryExhaustedError(
+                self.block_idx, name, needed, self.shared_bytes_used,
+                self.spec.shared_memory_per_block_bytes,
             )
         self.shared_bytes_used += needed
         array = np.zeros(size, dtype=np.int64)
@@ -107,6 +126,7 @@ class WarpContext:
         cost: CostModel,
         rng: np.random.Generator | None = None,
         preempt_prob: float = 0.0,
+        monitor: "LaunchMonitor | None" = None,
     ) -> None:
         self.block = block
         self.warp_id = warp_id
@@ -117,6 +137,8 @@ class WarpContext:
         self.lanes = np.arange(spec.warp_size, dtype=np.int64)
         self._rng = rng
         self._preempt_prob = preempt_prob
+        #: attached racecheck monitor, or ``None`` (sanitizing off)
+        self._monitor = monitor
         # per-warp counters (folded into the block at kernel teardown)
         self.issued = 0.0
         self.path = 0.0
@@ -172,6 +194,9 @@ class WarpContext:
         """
         scalar = np.isscalar(idx)
         idx_arr = np.atleast_1d(np.asarray(idx, dtype=np.int64))
+        mon = self._monitor
+        if mon is not None:
+            mon.global_access(self, "read", array, idx_arr)
         self.block.timing.mem_transactions += self._count_transactions(idx_arr)
         self.charge(1)
         if dependent:
@@ -184,6 +209,9 @@ class WarpContext:
     ) -> None:
         """Store ``values`` to ``array[idx]`` in global memory."""
         idx_arr = np.atleast_1d(np.asarray(idx, dtype=np.int64))
+        mon = self._monitor
+        if mon is not None:
+            mon.global_access(self, "write", array, idx_arr)
         self.block.timing.mem_transactions += self._count_transactions(idx_arr)
         self.charge(1)
         array.data[idx_arr] = values
@@ -202,6 +230,9 @@ class WarpContext:
         n = idx_arr.size
         if n == 0:
             return np.empty(0, dtype=np.int64)
+        mon = self._monitor
+        if mon is not None:
+            mon.global_access(self, "atomic", array, idx_arr)
         self.block.timing.mem_transactions += self._count_transactions(idx_arr)
         order = np.argsort(idx_arr, kind="stable")
         sorted_idx = idx_arr[order]
@@ -229,6 +260,9 @@ class WarpContext:
 
     def smem_get(self, name: str, default: int | None = None) -> int:
         """Read a named shared-memory scalar."""
+        mon = self._monitor
+        if mon is not None:
+            mon.shared_scalar_access(self, "read", name)
         self.path += self.cost.shared_access_cycles
         self.issued += 1
         if default is not None:
@@ -237,6 +271,9 @@ class WarpContext:
 
     def smem_set(self, name: str, value: int) -> None:
         """Write a named shared-memory scalar."""
+        mon = self._monitor
+        if mon is not None:
+            mon.shared_scalar_access(self, "write", name)
         self.path += self.cost.shared_access_cycles
         self.issued += 1
         self.block.scalars[name] = int(value)
@@ -250,6 +287,9 @@ class WarpContext:
         reservation start (lane ``j`` writes at ``old + j``) — identical
         observable behaviour to 32 serialised hardware atomics.
         """
+        mon = self._monitor
+        if mon is not None:
+            mon.shared_scalar_access(self, "atomic", name)
         old = self.block.scalars.get(name, 0)
         self.block.scalars[name] = old + int(amount)
         self.block.timing.atomic_conflicts += max(0, lanes - 1)
@@ -266,6 +306,9 @@ class WarpContext:
 
     def sload(self, array: np.ndarray, idx: int | np.ndarray) -> np.ndarray | int:
         """Load from a shared-memory array."""
+        mon = self._monitor
+        if mon is not None:
+            mon.shared_array_access(self, "read", array, idx)
         self.path += self.cost.shared_access_cycles
         self.issued += 1
         values = array[idx]
@@ -275,6 +318,9 @@ class WarpContext:
         self, array: np.ndarray, idx: int | np.ndarray, values: int | np.ndarray
     ) -> None:
         """Store to a shared-memory array."""
+        mon = self._monitor
+        if mon is not None:
+            mon.shared_array_access(self, "write", array, idx)
         self.path += self.cost.shared_access_cycles
         self.issued += 1
         array[idx] = values
@@ -283,6 +329,9 @@ class WarpContext:
 
     def ballot(self, mask: np.ndarray) -> int:
         """``__ballot_sync``: pack the lanes' predicates into a bitmap."""
+        mon = self._monitor
+        if mon is not None:
+            mon.on_ballot(self)
         self.charge(1)
         bits = 0
         for lane in np.flatnonzero(mask):

@@ -37,6 +37,20 @@ With a tracer attached, the device emits, on the *simulated* timeline:
 and accumulates the flat device counters ``device.kernel_launches``,
 ``device.cycles``, ``device.mem_transactions``, ``device.barriers``
 and ``device.atomic_conflicts``.
+
+Sanitizing
+----------
+
+``Device(sanitize=True)`` attaches a
+:class:`~repro.sanitize.racecheck.KernelSanitizer`; every
+:meth:`launch` then runs under a fresh
+:class:`~repro.sanitize.racecheck.LaunchMonitor` whose shadow access
+logs feed the race/barrier/ballot detectors (see
+``docs/SANITIZER.md``).  Recording charges no cycles, so a sanitized
+run's simulated time is identical to an unsanitized one.  A shared
+:class:`KernelSanitizer` instance may instead be passed via
+``sanitizer=`` so several devices (multi-GPU peeling) fold their
+findings into one report, available as ``device.sanitizer.report``.
 """
 
 from __future__ import annotations
@@ -54,6 +68,7 @@ from repro.obs.tracer import active_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.tracer import Tracer
+    from repro.sanitize.racecheck import KernelSanitizer
 
 __all__ = ["Device"]
 
@@ -69,6 +84,8 @@ class Device:
         preempt_prob: float = 0.0,
         seed: int = 0,
         tracer: "Tracer | None" = None,
+        sanitize: bool = False,
+        sanitizer: "KernelSanitizer | None" = None,
     ) -> None:
         self.spec = spec or DeviceSpec()
         self.spec.validate()
@@ -86,6 +103,14 @@ class Device:
         #: the attached tracer, or ``None`` (tracing off); an explicit
         #: argument wins over the process-wide active tracer
         self.tracer = tracer if tracer is not None else active_tracer()
+        #: the attached kernel sanitizer, or ``None`` (sanitizing off);
+        #: an explicit instance wins over the ``sanitize`` switch so
+        #: multiple devices can share one report
+        if sanitizer is None and sanitize:
+            from repro.sanitize.racecheck import KernelSanitizer
+
+            sanitizer = KernelSanitizer()
+        self.sanitizer = sanitizer
 
     # -- memory -------------------------------------------------------------
 
@@ -141,6 +166,12 @@ class Device:
         block = (
             block_dim if block_dim is not None else self.spec.default_block_dim
         )
+        san = self.sanitizer
+        monitor = (
+            san.begin_launch(getattr(kernel_fn, "__name__", "kernel"))
+            if san is not None
+            else None
+        )
         stats = run_kernel(
             kernel_fn,
             self.spec,
@@ -151,7 +182,10 @@ class Device:
             kwargs=kwargs,
             preempt_prob=self.preempt_prob,
             seed=self._seed + self.kernel_launches,
+            monitor=monitor,
         )
+        if san is not None:
+            san.end_launch(monitor)
         self.kernel_launches += 1
         self.total_cycles += stats.cycles
         self.launch_log.append(stats)

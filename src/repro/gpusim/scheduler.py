@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Generator, Sequence
 
 import numpy as np
 
@@ -35,6 +35,9 @@ from repro.errors import KernelDeadlockError
 from repro.gpusim.context import BARRIER, STEP, BlockState, WarpContext
 from repro.gpusim.costmodel import BlockTiming, CostModel
 from repro.gpusim.spec import DeviceSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sanitize.racecheck import LaunchMonitor
 
 __all__ = ["KernelStats", "run_kernel"]
 
@@ -81,12 +84,19 @@ def run_kernel(
     kwargs: dict | None = None,
     preempt_prob: float = 0.0,
     seed: int = 0,
+    monitor: "LaunchMonitor | None" = None,
 ) -> KernelStats:
     """Execute ``kernel_fn`` over a ``grid_dim x block_dim`` launch.
 
     ``kernel_fn(ctx, *args, **kwargs)`` must be a generator function;
     it is instantiated once per warp.  Returns the kernel's
     :class:`KernelStats` under the given cost model.
+
+    ``monitor`` is an optional racecheck shadow logger (see
+    :mod:`repro.sanitize.racecheck`): it is threaded into every warp
+    context, and the scheduler reports each warp's barrier arrivals
+    and its exit so the sanitizer can diagnose barrier divergence.
+    Monitoring never changes costs or scheduling.
     """
     if block_dim % spec.warp_size:
         raise ValueError("block_dim must be a multiple of the warp size")
@@ -100,7 +110,7 @@ def run_kernel(
         for w in range(warps_per_block):
             ctx = WarpContext(
                 block, w, grid_dim, block_dim, spec, cost,
-                rng=rng, preempt_prob=preempt_prob,
+                rng=rng, preempt_prob=preempt_prob, monitor=monitor,
             )
             queue.append(_Runner(block, ctx, kernel_fn(ctx, *args, **kwargs)))
 
@@ -122,12 +132,16 @@ def run_kernel(
                 max_paths[block.block_idx], runner.ctx.path
             )
             block.timing.issued += runner.ctx.issued
+            if monitor is not None:
+                monitor.on_warp_exit(runner.ctx)
             _release_if_complete(block)
             continue
         if token == STEP:
             queue.append(runner)
         elif token == BARRIER:
             block.waiting.append(runner)
+            if monitor is not None:
+                monitor.on_barrier_arrival(runner.ctx)
             _release_if_complete(block)
         else:
             raise ValueError(f"kernel yielded unknown token {token!r}")

@@ -44,6 +44,11 @@ class DecompositionResult:
             or an active process-wide tracer), else ``None``.  Export
             with ``result.trace.write("trace.json")`` and load in
             Perfetto.
+        sanitizer: the :class:`~repro.sanitize.report.SanitizerReport`
+            collected when the run was sanitized (``gpu_peel(...,
+            sanitize=True)``, ``KCoreDecomposer(sanitize=True)`` or CLI
+            ``--sanitize``), else ``None``.  ``result.sanitizer.clean``
+            is True when no detector fired; see ``docs/SANITIZER.md``.
     """
 
     core: np.ndarray
@@ -54,6 +59,7 @@ class DecompositionResult:
     stats: Mapping[str, Any] = field(default_factory=dict)
     counters: Mapping[str, float] = field(default_factory=dict)
     trace: Any = None
+    sanitizer: Any = None
 
     def __post_init__(self) -> None:
         core = np.asarray(self.core, dtype=np.int64)

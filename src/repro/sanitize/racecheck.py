@@ -1,0 +1,335 @@
+"""Dynamic race detection for the SIMT simulator ("racecheck").
+
+A :class:`KernelSanitizer` attaches to a
+:class:`~repro.gpusim.device.Device`; for every launch the device
+creates one :class:`LaunchMonitor` and hands it to the scheduler, which
+threads it into each :class:`~repro.gpusim.context.WarpContext`.  Every
+memory access the context performs (``gload``/``gstore``/``sload``/
+``sstore``/``smem_get``/``smem_set``/``smem_atomic_add``/
+``atomic_global``) is mirrored into shadow access logs keyed by exact
+location, with the *barrier epoch* of the accessing warp's block and
+the kernel-source ``file:line`` of the access.
+
+Happens-before model (matching the simulator's semantics):
+
+* two accesses by the **same warp** are always ordered;
+* accesses from warps of the **same block** are ordered iff a
+  ``__syncthreads`` generation separates them (different barrier
+  epochs) — within one epoch they are concurrent;
+* accesses from **different blocks** are concurrent for the whole
+  launch (nothing synchronises blocks before kernel end).
+
+A *race* is a concurrent pair touching the same location where at
+least one side is a **plain (non-atomic) write**.  Atomic-vs-atomic is
+ordered by the hardware; a plain *read* concurrent with an atomic RMW
+is reported as benign (word-sized loads are single transactions on the
+device — the property the paper's Fig. 6 degree-restore argument
+leans on) and therefore not flagged.
+
+Two structural detectors ride on the same logs:
+
+* **barrier divergence** — warps of one block retire having passed
+  different numbers of barrier generations (legal in the simulator,
+  which releases barriers over the *remaining* warps, but almost
+  always a kernel bug on real hardware);
+* **ballot hazard** — a warp executes ``__ballot_sync`` in an epoch in
+  which it read shared memory last written by *another* warp with no
+  barrier in between: the ballot's predicate may be stale per-lane.
+
+Recording never charges cycles or touches the cost model, so a
+sanitized run's ``simulated_ms`` is byte-identical to an unsanitized
+one; with no monitor attached every hook is a single ``is not None``
+test (the same cold-path discipline as :mod:`repro.obs`).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sanitize.report import SanitizerFinding, SanitizerReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpusim.context import WarpContext
+
+__all__ = ["KernelSanitizer", "LaunchMonitor"]
+
+#: source files whose frames are skipped when attributing an access to
+#: a kernel-source line (simulator internals and warp-level helpers,
+#: not the kernel logic itself)
+_INTERNAL_FRAMES = (
+    "gpusim/context.py",
+    "sanitize/racecheck.py",
+    "core/buffers.py",
+    "core/compaction.py",
+)
+
+#: per-launch cap so a badly racing kernel cannot flood the report
+_MAX_FINDINGS_PER_LAUNCH = 64
+
+
+def _call_site() -> str:
+    """``file.py:line`` of the innermost non-simulator frame."""
+    frame = sys._getframe(2)
+    while frame is not None:
+        filename = frame.f_code.co_filename.replace("\\", "/")
+        if not filename.endswith(_INTERNAL_FRAMES):
+            break
+        frame = frame.f_back
+    if frame is None:  # pragma: no cover - defensive
+        return "<unknown>"
+    filename = frame.f_code.co_filename.replace("\\", "/")
+    parts = filename.split("/")
+    # shorten to the path from the package (or test) root
+    for anchor in ("repro", "tests"):
+        if anchor in parts:
+            filename = "/".join(parts[parts.index(anchor):])
+            break
+    else:
+        filename = parts[-1]
+    return f"{filename}:{frame.f_lineno}"
+
+
+class _Access:
+    """Latest access of one kind by one warp to one location."""
+
+    __slots__ = ("warp", "block", "epoch", "site")
+
+    def __init__(self, warp: int, block: int, epoch: int, site: str) -> None:
+        self.warp = warp
+        self.block = block
+        self.epoch = epoch
+        self.site = site
+
+
+class _Location:
+    """Shadow state of one memory word: latest access per warp per kind."""
+
+    __slots__ = ("plain_writes", "reads", "atomics")
+
+    def __init__(self) -> None:
+        self.plain_writes: Dict[int, _Access] = {}
+        self.reads: Dict[int, _Access] = {}
+        self.atomics: Dict[int, _Access] = {}
+
+
+def _concurrent(a: _Access, b: _Access) -> bool:
+    """True when nothing orders accesses of two *different* warps."""
+    if a.block != b.block:
+        return True  # no cross-block synchronisation inside a launch
+    return a.epoch == b.epoch  # same block: barriers order epochs
+
+
+class LaunchMonitor:
+    """Shadow access logs and race analysis for one kernel launch."""
+
+    def __init__(
+        self, kernel: str, disabled: frozenset[str] = frozenset()
+    ) -> None:
+        self.kernel = kernel
+        self._disabled = disabled
+        self.findings: List[SanitizerFinding] = []
+        self._finding_keys: set = set()
+        #: (space, location-key) -> shadow state
+        self._locations: Dict[tuple, _Location] = {}
+        #: global warp id -> barrier generations passed
+        self._warp_barriers: Dict[int, int] = {}
+        #: block idx -> list of (warp_id, barriers passed) at warp exit
+        self._exits: Dict[int, List[Tuple[int, int]]] = {}
+        #: global warp id -> (epoch, read site, write site) of the last
+        #: unsynchronised shared read (feeds the ballot hazard detector)
+        self._taint: Dict[int, Tuple[int, str, str]] = {}
+
+    # -- finding plumbing --------------------------------------------------
+
+    def _emit(
+        self,
+        detector: str,
+        message: str,
+        sites: Tuple[str, ...],
+        severity: str = "error",
+    ) -> None:
+        if detector in self._disabled:
+            return
+        if len(self.findings) >= _MAX_FINDINGS_PER_LAUNCH:
+            return
+        key = (detector, message, sites)
+        if key in self._finding_keys:
+            return
+        self._finding_keys.add(key)
+        self.findings.append(
+            SanitizerFinding(detector, severity, self.kernel, message, sites)
+        )
+
+    # -- access recording --------------------------------------------------
+
+    def _record(
+        self,
+        detector: str,
+        space: str,
+        key: tuple,
+        what: str,
+        kind: str,
+        ctx: "WarpContext",
+        site: str,
+    ) -> None:
+        """Log one access and check it against the shadow state."""
+        loc = self._locations.get((space, key))
+        if loc is None:
+            loc = self._locations[(space, key)] = _Location()
+        warp = ctx.global_warp_id
+        access = _Access(warp, ctx.block_idx, int(ctx.block.timing.barriers), site)
+
+        if kind == "write":
+            # a plain write conflicts with *any* concurrent access of
+            # another warp
+            for store, verb in (
+                (loc.plain_writes, "write"),
+                (loc.reads, "read"),
+                (loc.atomics, "atomic"),
+            ):
+                for other in store.values():
+                    if other.warp != warp and _concurrent(access, other):
+                        self._emit(
+                            detector,
+                            f"write-{verb} race on {what}: warp {warp} "
+                            f"(block {access.block}) plain-writes while warp "
+                            f"{other.warp} (block {other.block}) {verb}s it "
+                            f"with no barrier between",
+                            (site, other.site),
+                        )
+                        break  # one counterexample per store suffices
+            loc.plain_writes[warp] = access
+            return
+
+        # reads and atomics only conflict with concurrent plain writes
+        for other in loc.plain_writes.values():
+            if other.warp != warp and _concurrent(access, other):
+                self._emit(
+                    detector,
+                    f"{kind}-write race on {what}: warp {warp} "
+                    f"(block {access.block}) {kind}s while warp {other.warp} "
+                    f"(block {other.block}) plain-writes it with no barrier "
+                    f"between",
+                    (site, other.site),
+                )
+                if space == "shared" and kind == "read":
+                    self._taint[warp] = (access.epoch, site, other.site)
+                break
+        store = loc.reads if kind == "read" else loc.atomics
+        store[warp] = access
+
+    # -- hooks called by WarpContext ---------------------------------------
+
+    def global_access(
+        self, ctx: "WarpContext", kind: str, array, idx: np.ndarray
+    ) -> None:
+        """Record a ``gload``/``gstore``/``atomicAdd`` on global memory."""
+        site = _call_site()
+        name = getattr(array, "name", "<array>")
+        for index in np.unique(np.atleast_1d(idx)):
+            self._record(
+                "global-race", "global", (name, int(index)),
+                f"{name}[{int(index)}]", kind, ctx, site,
+            )
+
+    def shared_array_access(
+        self, ctx: "WarpContext", kind: str, array: np.ndarray, idx
+    ) -> None:
+        """Record an ``sload``/``sstore`` on a block shared array."""
+        site = _call_site()
+        block = ctx.block_idx
+        name = next(
+            (n for n, a in ctx.block.arrays.items() if a is array), "<shared>"
+        )
+        for index in np.unique(np.atleast_1d(np.asarray(idx, dtype=np.int64))):
+            self._record(
+                "shared-race", "shared", (block, id(array), int(index)),
+                f"shared {name}[{int(index)}] (block {block})",
+                kind, ctx, site,
+            )
+
+    def shared_scalar_access(
+        self, ctx: "WarpContext", kind: str, name: str
+    ) -> None:
+        """Record a ``smem_get``/``smem_set``/``smem_atomic_add`` scalar op."""
+        self._record(
+            "shared-race", "shared", (ctx.block_idx, "scalar", name),
+            f"shared scalar {name!r} (block {ctx.block_idx})",
+            kind, ctx, _call_site(),
+        )
+
+    def on_ballot(self, ctx: "WarpContext") -> None:
+        """Flag ``__ballot_sync`` over data from an unsynced shared read."""
+        taint = self._taint.get(ctx.global_warp_id)
+        if taint is None:
+            return
+        epoch, read_site, write_site = taint
+        if epoch != int(ctx.block.timing.barriers):
+            return  # a barrier passed since the racy read: synchronised
+        self._emit(
+            "ballot-hazard",
+            f"warp {ctx.global_warp_id} ballots in the same barrier epoch "
+            f"as an unsynchronised shared-memory read — lanes may vote on "
+            f"stale data",
+            (_call_site(), read_site, write_site),
+        )
+
+    # -- hooks called by the scheduler -------------------------------------
+
+    def on_barrier_arrival(self, ctx: "WarpContext") -> None:
+        """A warp yielded ``BARRIER``; count its generation."""
+        warp = ctx.global_warp_id
+        self._warp_barriers[warp] = self._warp_barriers.get(warp, 0) + 1
+
+    def on_warp_exit(self, ctx: "WarpContext") -> None:
+        """A warp's generator finished; snapshot its barrier count."""
+        self._exits.setdefault(ctx.block_idx, []).append(
+            (ctx.warp_id, self._warp_barriers.get(ctx.global_warp_id, 0))
+        )
+
+    # -- analysis ----------------------------------------------------------
+
+    def finalize(self) -> List[SanitizerFinding]:
+        """Run the end-of-launch detectors and return all findings."""
+        for block, exits in sorted(self._exits.items()):
+            counts = sorted({count for _, count in exits})
+            if len(counts) > 1:
+                detail = ", ".join(
+                    f"warp {w}: {c}" for w, c in sorted(exits)
+                )
+                self._emit(
+                    "barrier-divergence",
+                    f"warps of block {block} retired at different "
+                    f"__syncthreads generations ({detail}) — some warps "
+                    f"skipped or added barriers",
+                    (),
+                )
+        return self.findings
+
+
+class KernelSanitizer:
+    """Per-device dynamic sanitizer: one monitor per launch, one report.
+
+    Pass ``disable`` to suppress individual detectors (e.g. a kernel
+    that deliberately tolerates a benign shared race can run with
+    ``KernelSanitizer(disable={"ballot-hazard"})``); see
+    ``docs/SANITIZER.md``.
+    """
+
+    def __init__(self, disable: Iterable[str] = ()) -> None:
+        self.report = SanitizerReport()
+        self._disabled = frozenset(disable)
+
+    def begin_launch(self, kernel_name: str) -> LaunchMonitor:
+        """Create the shadow-log monitor for one kernel launch."""
+        return LaunchMonitor(kernel_name, self._disabled)
+
+    def end_launch(self, monitor: Optional[LaunchMonitor]) -> None:
+        """Fold a finished launch's findings into the device report."""
+        if monitor is None:
+            return
+        self.report.extend(monitor.finalize())
+        self.report.launches_checked += 1

@@ -19,9 +19,14 @@ EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-__all__ = ["SystemTuning", "DEFAULT_TUNING"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sanitize.report import SanitizerReport
+
+__all__ = ["SystemTuning", "DEFAULT_TUNING", "lint_emulation"]
 
 
 @dataclass(frozen=True)
@@ -58,3 +63,25 @@ class SystemTuning:
 
 
 DEFAULT_TUNING = SystemTuning()
+
+
+def lint_emulation(module_name: str) -> "SanitizerReport":
+    """Sanitizer report for one system emulation's own source.
+
+    The emulations execute vectorised on the host and book device time
+    through :meth:`~repro.gpusim.device.Device.charge` — they launch no
+    SIMT kernels, so there is nothing for the dynamic racecheck to
+    shadow.  ``sanitize=True`` on an emulation therefore degrades to
+    the static lint pass (:mod:`repro.sanitize.lint`) over the
+    emulation's module plus this shared base, which still catches any
+    kernel-style generator that sneaks in with wall-clock, RNG or
+    host-mutation misuse.
+    """
+    from repro.sanitize.lint import lint_module
+    from repro.sanitize.report import SanitizerReport
+
+    report = SanitizerReport()
+    for name in (module_name, __name__):
+        report.extend(lint_module(sys.modules[name]))
+        report.modules_linted += 1
+    return report

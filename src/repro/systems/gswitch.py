@@ -25,7 +25,7 @@ from repro.core.fastpath import peel_fast
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import Device
 from repro.result import DecompositionResult
-from repro.systems.base import DEFAULT_TUNING, SystemTuning
+from repro.systems.base import DEFAULT_TUNING, SystemTuning, lint_emulation
 
 __all__ = ["gswitch_decompose"]
 
@@ -35,8 +35,13 @@ def gswitch_decompose(
     device: Device | None = None,
     tuning: SystemTuning = DEFAULT_TUNING,
     time_budget_ms: float | None = None,
+    sanitize: bool = False,
 ) -> DecompositionResult:
-    """Run the GSWITCH k-core program on the simulated device."""
+    """Run the GSWITCH k-core program on the simulated device.
+
+    ``sanitize=True`` attaches the static lint report over this
+    emulation's source (see :func:`~repro.systems.base.lint_emulation`).
+    """
     device = device or Device(time_budget_ms=time_budget_ms)
     n, m2 = graph.num_vertices, graph.neighbors.size
     device.malloc("gswitch_offsets", graph.offsets)
@@ -122,4 +127,5 @@ def gswitch_decompose(
         stats={"iterations": iterations, "push_iterations": pushes},
         counters=counters,
         trace=tr,
+        sanitizer=lint_emulation(__name__) if sanitize else None,
     )

@@ -24,7 +24,7 @@ import numpy as np
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import Device
 from repro.result import DecompositionResult
-from repro.systems.base import DEFAULT_TUNING, SystemTuning
+from repro.systems.base import DEFAULT_TUNING, SystemTuning, lint_emulation
 
 __all__ = ["gunrock_decompose"]
 
@@ -34,8 +34,13 @@ def gunrock_decompose(
     device: Device | None = None,
     tuning: SystemTuning = DEFAULT_TUNING,
     time_budget_ms: float | None = None,
+    sanitize: bool = False,
 ) -> DecompositionResult:
-    """Run Gunrock's k-core app on the simulated device."""
+    """Run Gunrock's k-core app on the simulated device.
+
+    ``sanitize=True`` attaches the static lint report over this
+    emulation's source (see :func:`~repro.systems.base.lint_emulation`).
+    """
     device = device or Device(time_budget_ms=time_budget_ms)
     n, m2 = graph.num_vertices, graph.neighbors.size
     device.malloc("gunrock_offsets", graph.offsets)
@@ -114,4 +119,5 @@ def gunrock_decompose(
         stats={"iterations": iterations},
         counters=counters,
         trace=tr,
+        sanitizer=lint_emulation(__name__) if sanitize else None,
     )

@@ -28,7 +28,7 @@ from repro.cpu.mpm import mpm_sweep
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import Device
 from repro.result import DecompositionResult
-from repro.systems.base import DEFAULT_TUNING, SystemTuning
+from repro.systems.base import DEFAULT_TUNING, SystemTuning, lint_emulation
 
 __all__ = ["medusa_decompose", "MedusaEngine", "MedusaMPM", "MedusaPeel"]
 
@@ -126,12 +126,15 @@ def medusa_decompose(
     device: Device | None = None,
     tuning: SystemTuning = DEFAULT_TUNING,
     time_budget_ms: float | None = None,
+    sanitize: bool = False,
 ) -> DecompositionResult:
     """Run a Medusa program; ``program`` is ``"peel"`` or ``"mpm"``.
 
     Raises :class:`~repro.errors.DeviceOutOfMemoryError` /
     :class:`~repro.errors.SimulatedTimeLimitExceeded` the way the real
     runs OOM or exceed one hour in Tables III and V.
+    ``sanitize=True`` attaches the static lint report over this
+    emulation's source (see :func:`~repro.systems.base.lint_emulation`).
     """
     device = device or Device(time_budget_ms=time_budget_ms)
     engine = MedusaEngine(graph, device, tuning)
@@ -153,4 +156,5 @@ def medusa_decompose(
         stats={"supersteps": engine.supersteps},
         counters=counters,
         trace=device.tracer,
+        sanitizer=lint_emulation(__name__) if sanitize else None,
     )

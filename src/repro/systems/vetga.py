@@ -22,7 +22,7 @@ from repro.errors import SimulatedTimeLimitExceeded
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import Device
 from repro.result import DecompositionResult
-from repro.systems.base import DEFAULT_TUNING, SystemTuning
+from repro.systems.base import DEFAULT_TUNING, SystemTuning, lint_emulation
 
 __all__ = ["vetga_decompose", "vetga_load_ms"]
 
@@ -38,11 +38,14 @@ def vetga_decompose(
     tuning: SystemTuning = DEFAULT_TUNING,
     time_budget_ms: float | None = None,
     include_load: bool = True,
+    sanitize: bool = False,
 ) -> DecompositionResult:
     """Run the vector-primitive peeling algorithm.
 
     With ``include_load=True`` the modelled loading time counts against
     ``time_budget_ms`` first, reproducing the force-terminated loads.
+    ``sanitize=True`` attaches the static lint report over this
+    emulation's source (see :func:`~repro.systems.base.lint_emulation`).
     """
     load_ms = vetga_load_ms(graph, tuning) if include_load else 0.0
     if time_budget_ms is not None and load_ms > time_budget_ms:
@@ -106,4 +109,5 @@ def vetga_decompose(
         stats={"iterations": iterations, "load_ms": load_ms},
         counters=counters,
         trace=device.tracer,
+        sanitizer=lint_emulation(__name__) if sanitize else None,
     )

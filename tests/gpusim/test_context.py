@@ -142,6 +142,29 @@ class TestSharedMemory:
         with pytest.raises(MemoryError):
             ctx.smem_array("huge", 10_000_000)
 
+    def test_shared_capacity_error_is_typed(self, ctx):
+        from repro.errors import SharedMemoryExhaustedError
+
+        with pytest.raises(SharedMemoryExhaustedError) as info:
+            ctx.smem_array("huge", 10_000_000)
+        exc = info.value
+        assert exc.name == "huge"
+        assert exc.block == ctx.block_idx
+        assert exc.requested > exc.capacity
+        assert "huge" in str(exc)
+
+    def test_shared_capacity_error_counts_existing_use(self, ctx):
+        from repro.errors import SharedMemoryExhaustedError
+
+        ctx.smem_array("first", 1024)
+        capacity = ctx.spec.shared_memory_per_block_bytes
+        id_bytes = ctx.spec.id_bytes
+        # a second allocation that alone would fit, but not on top of
+        # the first one
+        with pytest.raises(SharedMemoryExhaustedError) as info:
+            ctx.smem_array("second", capacity // id_bytes - 512)
+        assert info.value.in_use == 1024 * id_bytes
+
     def test_contended_shared_atomic_cheap(self, ctx):
         """Hardware-accelerated shared atomics: 32 conflicting lanes
         must cost far less than 32 serial global atomics."""

@@ -1,0 +1,90 @@
+"""SanitizerReport / SanitizerFinding data-model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SanitizerFindingsError
+from repro.sanitize import DETECTORS, SanitizerFinding, SanitizerReport
+
+
+def _finding(detector="shared-race", severity="error", line=10):
+    return SanitizerFinding(
+        detector, severity, "loop_kernel",
+        f"conflict on buf[{line}]", (f"loop_kernel.py:{line}",),
+    )
+
+
+def test_detector_names_are_stable():
+    assert DETECTORS == (
+        "shared-race", "global-race", "barrier-divergence", "ballot-hazard",
+        "illegal-yield", "wall-clock", "rng", "host-mutation",
+        "unsynced-shared",
+    )
+
+
+def test_finding_str_carries_everything():
+    text = str(_finding())
+    assert "ERROR" in text
+    assert "shared-race" in text
+    assert "loop_kernel" in text
+    assert "loop_kernel.py:10" in text
+
+
+def test_empty_report_is_clean():
+    report = SanitizerReport()
+    assert report.clean
+    assert report.errors == [] and report.warnings == []
+    assert "clean" in report.summary()
+    report.raise_if_findings()  # no-op when clean
+
+
+def test_extend_dedupes_exact_repeats():
+    report = SanitizerReport()
+    report.extend([_finding(), _finding()])
+    report.extend([_finding()])
+    assert len(report.findings) == 1
+    report.extend([_finding(line=11)])
+    assert len(report.findings) == 2
+
+
+def test_severity_split_and_grouping():
+    report = SanitizerReport()
+    report.extend([
+        _finding(),
+        _finding(detector="unsynced-shared", severity="warning", line=20),
+        _finding(detector="global-race", line=30),
+    ])
+    assert len(report.errors) == 2
+    assert len(report.warnings) == 1
+    grouped = report.by_detector()
+    assert set(grouped) == {"shared-race", "unsynced-shared", "global-race"}
+
+
+def test_merge_accumulates_counts():
+    left = SanitizerReport(launches_checked=3, modules_linted=1)
+    right = SanitizerReport(launches_checked=2)
+    right.extend([_finding()])
+    left.merge(right)
+    assert left.launches_checked == 5
+    assert left.modules_linted == 1
+    assert len(left.findings) == 1
+
+
+def test_summary_lists_findings_by_detector():
+    report = SanitizerReport(launches_checked=4)
+    report.extend([_finding(), _finding(detector="global-race", line=30)])
+    text = report.summary()
+    assert "2 finding(s)" in text
+    assert "4 launch(es)" in text
+    assert "shared-race (1):" in text
+    assert "global-race (1):" in text
+
+
+def test_raise_if_findings_carries_report():
+    report = SanitizerReport()
+    report.extend([_finding()])
+    with pytest.raises(SanitizerFindingsError) as info:
+        report.raise_if_findings()
+    assert info.value.report is report
+    assert "shared-race" in str(info.value)

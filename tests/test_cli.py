@@ -74,3 +74,21 @@ def test_unknown_dataset_exit_code(capsys):
 def test_source_required():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_sanitize_clean_run(tmp_path, capsys):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n1 2\n0 2\n")
+    assert main(["--input", str(path), "--algorithm", "gpu-ours",
+                 "--sanitize"]) == 0
+    out = capsys.readouterr().out
+    assert "sanitizer:" in out
+    assert "clean" in out
+
+
+def test_sanitize_unsupported_algorithm(tmp_path, capsys):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n1 2\n0 2\n")
+    assert main(["--input", str(path), "--algorithm", "bz",
+                 "--sanitize"]) == 2
+    assert "--sanitize" in capsys.readouterr().err

@@ -9,8 +9,9 @@ def test_all_derive_from_repro_error():
     for name in (
         "GraphFormatError", "GraphValidationError", "UnknownDatasetError",
         "UnknownAlgorithmError", "DeviceError", "DeviceOutOfMemoryError",
-        "BufferOverflowError", "SimulatedTimeLimitExceeded",
-        "KernelDeadlockError",
+        "BufferOverflowError", "SharedMemoryExhaustedError",
+        "SimulatedTimeLimitExceeded", "KernelDeadlockError",
+        "SanitizerFindingsError",
     ):
         assert issubclass(getattr(errors, name), errors.ReproError), name
 
@@ -18,6 +19,17 @@ def test_all_derive_from_repro_error():
 def test_device_failures_derive_from_device_error():
     assert issubclass(errors.DeviceOutOfMemoryError, errors.DeviceError)
     assert issubclass(errors.BufferOverflowError, errors.DeviceError)
+    assert issubclass(errors.SharedMemoryExhaustedError, errors.DeviceError)
+
+
+def test_shared_memory_exhausted_fields():
+    exc = errors.SharedMemoryExhaustedError(2, "tile", 4096, 1024, 3072)
+    assert exc.block == 2
+    assert exc.name == "tile"
+    assert exc.requested == 4096
+    assert "tile" in str(exc) and "4096" in str(exc) and "3072" in str(exc)
+    # downstream code that catches MemoryError keeps working
+    assert issubclass(errors.SharedMemoryExhaustedError, MemoryError)
 
 
 def test_lookup_errors_are_key_errors():
