@@ -3,11 +3,17 @@
 
 Usage::
 
-    python scripts/lint_kernels.py [PATH ...]
+    python scripts/lint_kernels.py [--json FILE] [PATH ...]
 
 With no arguments, lints every kernel generator function in
 ``src/repro/core`` and ``src/repro/systems`` (the default sweep CI
-runs).  Explicit paths may be files or directories of ``.py`` sources.
+runs).  Explicit paths may be files or directories of ``.py`` sources;
+repeated or overlapping arguments (a file given twice, or a file plus a
+directory containing it) are deduplicated so each module is linted — and
+reported — once.  ``--json FILE`` additionally dumps the
+:class:`~repro.sanitize.report.SanitizerReport` as a JSON artifact for
+CI upload; it does not change the exit status.
+
 Exit status 0 when every kernel is clean, 1 when any detector fired.
 The rules (illegal yields, wall clock, RNG, host-array mutation,
 barrier-free shared read-back) live in :mod:`repro.sanitize.lint`; see
@@ -17,6 +23,7 @@ suppression marker.
 
 from __future__ import annotations
 
+import argparse
 import sys
 from pathlib import Path
 
@@ -26,22 +33,55 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.sanitize.lint import default_kernel_paths, lint_paths  # noqa: E402
 
 
+def resolve_targets(targets: list[str]) -> list[Path] | None:
+    """Expand CLI arguments to a deduplicated, sorted list of files.
+
+    Returns ``None`` when a target does not exist (the exit-2 case).
+    """
+    seen: set[Path] = set()
+    paths: list[Path] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.exists():
+            candidates = [path]
+        else:
+            print(f"{path}: no such file or directory", file=sys.stderr)
+            return None
+        for candidate in candidates:
+            key = candidate.resolve()
+            if key not in seen:
+                seen.add(key)
+                paths.append(candidate)
+    return paths
+
+
 def main(argv: list[str]) -> int:
-    if argv:
-        paths: list[Path] = []
-        for target in argv:
-            path = Path(target)
-            if path.is_dir():
-                paths.extend(sorted(path.rglob("*.py")))
-            elif path.exists():
-                paths.append(path)
-            else:
-                print(f"{path}: no such file or directory", file=sys.stderr)
-                return 2
+    parser = argparse.ArgumentParser(
+        prog="lint_kernels",
+        description="static lint pass over kernel modules",
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the shipped kernels)",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the SanitizerReport as JSON here (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+    if args.paths:
+        paths = resolve_targets(args.paths)
+        if paths is None:
+            return 2
     else:
         paths = default_kernel_paths()
     report = lint_paths(paths)
     print(report.summary())
+    if args.json:
+        Path(args.json).write_text(report.to_json() + "\n", encoding="utf-8")
+        print(f"wrote JSON report to {args.json}")
     return 0 if report.clean else 1
 
 

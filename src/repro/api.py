@@ -28,7 +28,13 @@ from repro.systems.gunrock import gunrock_decompose
 from repro.systems.medusa import medusa_decompose
 from repro.systems.vetga import vetga_decompose
 
-__all__ = ["ALGORITHMS", "SANITIZABLE", "algorithm_names", "decompose"]
+__all__ = [
+    "ALGORITHMS",
+    "SANITIZABLE",
+    "STATICHECKABLE",
+    "algorithm_names",
+    "decompose",
+]
 
 Runner = Callable[..., DecompositionResult]
 
@@ -105,6 +111,17 @@ SANITIZABLE: FrozenSet[str] = frozenset(
     if name == "fast"
     or name.startswith("gpu-")
     or name in ("vetga", "medusa-mpm", "medusa-peel", "gunrock", "gswitch")
+)
+
+
+#: algorithms whose runner accepts ``staticheck=True`` (the static
+#: resource certifier's differential checker, ``docs/STATIC_ANALYSIS.md``):
+#: the single-GPU peeling variants, whose kernels have closed-form
+#: certificates in ``repro.staticheck``.  The system emulations and CPU
+#: baselines launch no SIMT kernels, and the multi-GPU runner composes
+#: per-device runs the checker does not yet model.
+STATICHECKABLE: FrozenSet[str] = frozenset(
+    f"gpu-{name}" for name in variant_names()
 )
 
 

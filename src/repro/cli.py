@@ -14,6 +14,13 @@ over the run: the simulated-GPU algorithms get the dynamic race
 detector on every kernel launch, the system emulations and the fast
 path get the static lint sweep.  The report is printed after the
 summary and error findings make the exit status 1.
+
+``--staticheck`` engages the static resource certifier (see
+``docs/STATIC_ANALYSIS.md``).  On its own (no input) it prints the
+symbolic certificates of all eleven kernel variants.  Combined with a
+graph and a ``gpu-*`` algorithm it additionally runs the differential
+checker — every launch's measured stats are asserted against the
+certificate — and prints that report; error findings exit 1.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.api import SANITIZABLE, algorithm_names, decompose
+from repro.api import SANITIZABLE, STATICHECKABLE, algorithm_names, decompose
 from repro.graph import datasets
 from repro.graph.io import read_edgelist
 
@@ -37,7 +44,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="k-core decomposition (ICDE 2023 KCoreGPU reproduction)",
     )
-    source = parser.add_mutually_exclusive_group(required=True)
+    # not argparse-required: a bare ``--staticheck`` needs no source
+    # (main() enforces the requirement for every other invocation)
+    source = parser.add_mutually_exclusive_group()
     source.add_argument(
         "--input", "-i", metavar="FILE",
         help="edge-list file (SNAP/KONECT format, optionally .gz)",
@@ -82,6 +91,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the kernel sanitizer (race/barrier/lint checks) over "
              "the run and print its report; error findings exit 1",
     )
+    parser.add_argument(
+        "--staticheck", action="store_true",
+        help="print the static resource certificates of every kernel "
+             "variant; with an input graph and a gpu-* algorithm, also "
+             "check every launch against its certificate (differential "
+             "check); error findings exit 1",
+    )
     return parser
 
 
@@ -108,8 +124,34 @@ def _summarise(args, graph, result) -> None:
             print(f"  {int(v)}: core {int(result.core[v])}")
 
 
+def _print_certificates() -> int:
+    """The standalone ``--staticheck`` listing; exit 1 on coverage gaps."""
+    from repro.staticheck import (
+        certify_all, render_certificates, verify_inventories,
+    )
+
+    print(render_certificates(certify_all()))
+    findings = verify_inventories()
+    if findings:
+        print(f"\nstaticheck: {len(findings)} coverage finding(s)",
+              file=sys.stderr)
+        for finding in findings:
+            print(f"  {finding}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not (args.input or args.dataset or args.list_datasets
+            or args.list_algorithms):
+        if args.staticheck:
+            return _print_certificates()
+        parser.error(
+            "one of --input/--dataset/--list-datasets/--list-algorithms "
+            "is required (or bare --staticheck for the certificate dump)"
+        )
     if args.list_datasets:
         for name in datasets.dataset_names():
             spec = datasets.get_spec(name)
@@ -129,6 +171,12 @@ def main(argv: Sequence[str] | None = None) -> int:
               f"--sanitize (supported: {', '.join(sorted(SANITIZABLE))})",
               file=sys.stderr)
         return 2
+    if args.staticheck and args.algorithm not in STATICHECKABLE:
+        print(f"error: algorithm {args.algorithm!r} does not support "
+              f"--staticheck (supported: "
+              f"{', '.join(sorted(STATICHECKABLE))})",
+              file=sys.stderr)
+        return 2
     if args.dataset:
         try:
             graph = datasets.load(args.dataset)
@@ -139,7 +187,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     else:
         graph = read_edgelist(args.input)
 
-    run_kwargs = {"sanitize": True} if args.sanitize else {}
+    run_kwargs = {}
+    if args.sanitize:
+        run_kwargs["sanitize"] = True
+    if args.staticheck:
+        run_kwargs["staticheck"] = True
     if args.profile:
         from repro.obs import start_tracing, stop_tracing
 
@@ -174,6 +226,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             print("sanitizer: no report produced", file=sys.stderr)
             return 1
         print(report.summary())
+        if report.errors:
+            return 1
+    if args.staticheck:
+        report = result.staticheck
+        if report is None:
+            print("staticheck: no report produced", file=sys.stderr)
+            return 1
+        print(report.summary(label="staticheck"))
         if report.errors:
             return 1
     return 0

@@ -27,6 +27,15 @@ __all__ = [
     "block_scan_offsets",
 ]
 
+#: static-certificate coverage map (see ``docs/STATIC_ANALYSIS.md``);
+#: ``hillis_steele_exclusive`` is a pure host-side reference function
+#: (no ``ctx``), so it needs no entry.
+__staticheck__ = {
+    "warp_compact_hillis_steele": "11 issued (2*log2(32)+1)",
+    "warp_compact_ballot": "3 issued (ballot + popc + mask)",
+    "block_scan_offsets": "<= 13 issued (sload + 2*log2(W)+2), Warp 0 only",
+}
+
 
 def hillis_steele_exclusive(flags: np.ndarray) -> Tuple[np.ndarray, int]:
     """Pure-function exclusive prefix sum of ``flags`` (reference/tests).

@@ -24,6 +24,13 @@ under the dynamic race detector; in ``fast`` mode (no kernels execute)
 it degrades to the static lint pass over the shipped kernel sources.
 Either way ``result.sanitizer`` carries the
 :class:`~repro.sanitize.report.SanitizerReport`.
+
+Pass ``staticheck=True`` to check the run against the static resource
+certifier (see ``docs/STATIC_ANALYSIS.md``): in ``simulate`` mode every
+launch's measured stats are asserted against the variant's closed-form
+certificate and ``result.staticheck`` carries the differential
+checker's report; in ``fast`` mode (no kernels execute) it degrades to
+the purely static checks — certificate coverage and shared-memory fit.
 """
 
 from __future__ import annotations
@@ -65,6 +72,7 @@ class KCoreDecomposer:
         options: GpuPeelOptions | None = None,
         trace: bool = False,
         sanitize: bool = False,
+        staticheck: bool = False,
     ) -> None:
         if mode not in _MODES:
             raise ReproError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -75,6 +83,7 @@ class KCoreDecomposer:
         self.options = options
         self.trace = trace
         self.sanitize = sanitize
+        self.staticheck = staticheck
 
     def decompose(self, graph: CSRGraph) -> DecompositionResult:
         """Compute the core number of every vertex of ``graph``."""
@@ -87,7 +96,23 @@ class KCoreDecomposer:
                 from repro.sanitize.lint import lint_repo
 
                 lint_report = lint_repo()
-            if tracer is None and lint_report is None:
+            static_report = None
+            if self.staticheck:
+                # no launches to check dynamically: run the purely
+                # static half (coverage + shared-memory fit)
+                from repro.core.variants import get_variant
+                from repro.staticheck.differential import DifferentialChecker
+
+                cfg = (
+                    self.variant
+                    if isinstance(self.variant, VariantConfig)
+                    else get_variant(self.variant)
+                )
+                static_report = DifferentialChecker(
+                    cfg, self.spec or DeviceSpec(), graph.num_vertices,
+                    len(graph.neighbors), graph.max_degree,
+                ).report
+            if tracer is None and lint_report is None and static_report is None:
                 return fast_decompose(graph)
             wall_start = time.perf_counter()
             result = fast_decompose(graph)
@@ -106,6 +131,7 @@ class KCoreDecomposer:
                 counters=dict(tracer.counters) if tracer is not None else {},
                 trace=tracer,
                 sanitizer=lint_report,
+                staticheck=static_report,
             )
         return gpu_peel(
             graph,
@@ -115,6 +141,7 @@ class KCoreDecomposer:
             options=self.options,
             tracer=tracer,
             sanitize=self.sanitize,
+            staticheck=self.staticheck,
         )
 
     def core_numbers(self, graph: CSRGraph):

@@ -58,6 +58,11 @@ class GpuPeelOptions:
     #: result (``docs/SANITIZER.md``); costs host time only — simulated
     #: time is unchanged
     sanitize: bool = False
+    #: check every launch against the variant's static resource
+    #: certificate and attach the differential-checker report to
+    #: ``result.staticheck`` (``docs/STATIC_ANALYSIS.md``); like
+    #: ``sanitize``, costs host time only — simulated time is unchanged
+    staticheck: bool = False
 
 
 def gpu_peel(
@@ -69,6 +74,7 @@ def gpu_peel(
     options: GpuPeelOptions | None = None,
     tracer: Tracer | None = None,
     sanitize: bool | None = None,
+    staticheck: bool | None = None,
 ) -> DecompositionResult:
     """Run the paper's GPU peeling algorithm on the simulator.
 
@@ -90,6 +96,12 @@ def gpu_peel(
             (overrides ``options.sanitize`` when given); the collected
             :class:`~repro.sanitize.report.SanitizerReport` lands on
             ``result.sanitizer``.
+        staticheck: check every launch's measured ``KernelStats``
+            against the variant's static resource certificate
+            (overrides ``options.staticheck`` when given); the
+            differential checker's report lands on
+            ``result.staticheck``.  Not available for ring-buffer
+            variants, whose buffers have no static slot bound.
 
     Returns:
         A :class:`DecompositionResult` whose ``simulated_ms`` /
@@ -103,6 +115,13 @@ def gpu_peel(
         chosen = opts.variant  # explicit argument wins over options
     cfg = chosen if isinstance(chosen, VariantConfig) else get_variant(chosen)
     want_sanitize = opts.sanitize if sanitize is None else sanitize
+    want_staticheck = opts.staticheck if staticheck is None else staticheck
+    if want_staticheck and cfg.ring_buffer:
+        raise ReproError(
+            "staticheck is not available for ring-buffer variants: a "
+            "wrapping buffer has no static slot bound (see "
+            "docs/STATIC_ANALYSIS.md)"
+        )
 
     if device is None:
         device = Device(
@@ -129,6 +148,14 @@ def gpu_peel(
         )
 
     n = graph.num_vertices
+    checker = None
+    if want_staticheck:
+        from repro.staticheck.differential import DifferentialChecker
+
+        checker = DifferentialChecker(
+            cfg, spec, n, len(graph.neighbors), graph.max_degree,
+            buffer_capacity=opts.buffer_capacity,
+        )
     if n == 0:
         return DecompositionResult(
             core=np.empty(0, dtype=np.int64),
@@ -137,6 +164,7 @@ def gpu_peel(
                 device.sanitizer.report
                 if device.sanitizer is not None else None
             ),
+            staticheck=checker.report if checker is not None else None,
         )
 
     grid_dim = spec.default_grid_dim
@@ -179,6 +207,8 @@ def gpu_peel(
         stats = device.launch(
             scan_kernel, args=(k, deg_d, buf_d, tails_d, n, capacity, cfg)
         )  # Line 6
+        if checker is not None:
+            checker.observe("scan_kernel", stats)
         scan_cycles += stats.cycles
         if stats.buffer_peak > buffer_peak:
             buffer_peak = stats.buffer_peak
@@ -189,6 +219,8 @@ def gpu_peel(
                 count_d, capacity, shared_capacity, cfg,
             ),
         )  # Line 7
+        if checker is not None:
+            checker.observe("loop_kernel", stats)
         loop_cycles += stats.cycles
         if stats.buffer_peak > buffer_peak:
             buffer_peak = stats.buffer_peak
@@ -245,4 +277,5 @@ def gpu_peel(
         sanitizer=(
             device.sanitizer.report if device.sanitizer is not None else None
         ),
+        staticheck=checker.report if checker is not None else None,
     )

@@ -34,6 +34,20 @@ from repro.gpusim.memory import DeviceArray
 
 __all__ = ["loop_kernel"]
 
+#: static-certificate coverage map (see ``docs/STATIC_ANALYSIS.md``):
+#: every ``ctx`` function here must be named, with the bound that
+#: accounts for its cost; the AST pass in ``repro.staticheck.absint``
+#: fails an ``uncertified-kernel`` finding otherwise.
+__staticheck__ = {
+    "loop_kernel": "repro.staticheck.bounds.loop_bounds (entry point)",
+    "_drain": "P+2 iteration bound, 2 barriers/iteration",
+    "_drain_virtual": "P+2 iterations, ceil(dmax/(S/vw)) sweep trips",
+    "_process_vertices_virtual": "11 issued per virtual sweep trip",
+    "_drain_prefetched": "2P+3 iteration bound, 3 barriers/iteration",
+    "_process_vertex": "sweep-trip constants: 9 base + append",
+    "_append": "append constants: none=2, ballot=7, block=15 (+6 SM)",
+}
+
 
 def loop_kernel(
     ctx: WarpContext,

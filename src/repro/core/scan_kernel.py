@@ -36,6 +36,17 @@ from repro.gpusim.memory import DeviceArray
 
 __all__ = ["scan_kernel"]
 
+#: static-certificate coverage map (see ``docs/STATIC_ANALYSIS.md``):
+#: every ``ctx`` function here must be named, with the bound that
+#: accounts for its cost; the AST pass in ``repro.staticheck.absint``
+#: fails an ``uncertified-kernel`` finding otherwise.
+__staticheck__ = {
+    "scan_kernel": "repro.staticheck.bounds.scan_bounds (entry point)",
+    "_hit_flags": "6 issued/trip, folded into every scan trip constant",
+    "_scan_strided": "scan trip constants: none=8, ballot=13",
+    "_scan_block_compaction": "scan trip constant block=35, 3 barriers/trip",
+}
+
 
 def scan_kernel(
     ctx: WarpContext,

@@ -34,6 +34,19 @@ class DeviceError(ReproError):
     """Base class for simulated-GPU failures."""
 
 
+class DeviceSpecError(DeviceError, ValueError):
+    """A :class:`~repro.gpusim.spec.DeviceSpec` is statically invalid.
+
+    Raised at construction time (``__post_init__``) — for instance when
+    the per-block shared buffers plus the SM/VP/EC staging arrays the
+    kernel variants allocate cannot fit ``shared_memory_per_block_bytes``.
+    Catching this at spec-build time replaces the late dynamic
+    :class:`SharedMemoryExhaustedError` mid-run.  Also derives from
+    :class:`ValueError` so callers that treated spec validation errors
+    generically keep working.
+    """
+
+
 class DeviceOutOfMemoryError(DeviceError):
     """A ``malloc`` on the simulated device exceeded its global memory.
 

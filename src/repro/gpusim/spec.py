@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import DeviceSpecError
+
 __all__ = ["DeviceSpec", "PAPER_SCALE_NOTE"]
 
 PAPER_SCALE_NOTE = (
@@ -56,6 +58,35 @@ class DeviceSpec:
     #: baseline device allocation (CUDA context, kernel images, ...) so
     #: that small graphs still show a memory floor, as in Table V
     context_overhead_bytes: int = 256 * 1024
+
+    def __post_init__(self) -> None:
+        """Static fit check, at construction time.
+
+        The most shared-memory-hungry kernel any variant can launch
+        needs, per block: the SM variant's buffer ``B`` (``scap``
+        slots) plus its three scalars, the EC scan's two ``W``-sized
+        staging arrays (which also cover VP's two ``W``-sized prefetch
+        slots and its two scalars), and one slot of slack for the
+        remaining scalars — all at ``id_bytes`` per slot (matching
+        ``BlockState.alloc_shared``).  A spec whose shared memory
+        cannot hold that would fail mid-run with
+        :class:`~repro.errors.SharedMemoryExhaustedError` on the first
+        SM/EC launch; failing here is the typed, eager version.
+        """
+        if self.default_block_dim > 0 and self.warp_size > 0:
+            staging_slots = 2 * (self.default_block_dim // self.warp_size)
+        else:
+            staging_slots = 0  # dimension errors are validate()'s job
+        worst_slots = self.shared_buffer_capacity + staging_slots + 4
+        needed = worst_slots * self.id_bytes
+        if needed > self.shared_memory_per_block_bytes:
+            raise DeviceSpecError(
+                f"spec {self.name!r}: per-block shared buffers plus "
+                f"variant staging need {needed} B ({worst_slots} slots x "
+                f"{self.id_bytes} B) but shared_memory_per_block_bytes is "
+                f"{self.shared_memory_per_block_bytes} B; shrink "
+                f"shared_buffer_capacity or the block dimension"
+            )
 
     @property
     def warps_per_block(self) -> int:

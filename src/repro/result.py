@@ -49,6 +49,13 @@ class DecompositionResult:
             sanitize=True)``, ``KCoreDecomposer(sanitize=True)`` or CLI
             ``--sanitize``), else ``None``.  ``result.sanitizer.clean``
             is True when no detector fired; see ``docs/SANITIZER.md``.
+        staticheck: the :class:`~repro.sanitize.report.SanitizerReport`
+            of the static-certificate differential checker when the run
+            was certified (``gpu_peel(..., staticheck=True)`` or CLI
+            ``--staticheck``), else ``None``.  Findings use the
+            ``static-bound`` / ``static-resource`` /
+            ``uncertified-kernel`` detectors; see
+            ``docs/STATIC_ANALYSIS.md``.
     """
 
     core: np.ndarray
@@ -60,6 +67,7 @@ class DecompositionResult:
     counters: Mapping[str, float] = field(default_factory=dict)
     trace: Any = None
     sanitizer: Any = None
+    staticheck: Any = None
 
     def __post_init__(self) -> None:
         core = np.asarray(self.core, dtype=np.int64)

@@ -33,19 +33,28 @@ detector                  kind     meaning
                                    array directly instead of through ``ctx``
 ``unsynced-shared``       lint     a shared-memory write is read back on a
                                    path with no intervening barrier
+``static-bound``          static   a launch's measured ``KernelStats``
+                                   exceeded the variant's static resource
+                                   certificate (``docs/STATIC_ANALYSIS.md``)
+``static-resource``       static   a certificate's shared-memory footprint
+                                   cannot fit the device's per-block capacity
+``uncertified-kernel``    static   a kernel function (or call edge) is not
+                                   covered by the certifier's coverage map
 ========================  =======  ==========================================
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.errors import SanitizerFindingsError
 
 __all__ = ["SanitizerFinding", "SanitizerReport", "DETECTORS"]
 
-#: every detector name the sanitizer can emit, dynamic then lint
+#: every detector name the sanitizer can emit: dynamic, lint, then the
+#: static certifier's (``repro.staticheck``)
 DETECTORS: Tuple[str, ...] = (
     "shared-race",
     "global-race",
@@ -56,6 +65,9 @@ DETECTORS: Tuple[str, ...] = (
     "rng",
     "host-mutation",
     "unsynced-shared",
+    "static-bound",
+    "static-resource",
+    "uncertified-kernel",
 )
 
 
@@ -138,10 +150,11 @@ class SanitizerReport:
         self.launches_checked += other.launches_checked
         self.modules_linted += other.modules_linted
 
-    def summary(self) -> str:
-        """Multi-line human-readable report."""
+    def summary(self, label: str = "sanitizer") -> str:
+        """Multi-line human-readable report; ``label`` names the tool
+        that produced it (the static certifier passes ``staticheck``)."""
         header = (
-            f"sanitizer: {len(self.findings)} finding(s) over "
+            f"{label}: {len(self.findings)} finding(s) over "
             f"{self.launches_checked} launch(es), "
             f"{self.modules_linted} module(s) linted"
         )
@@ -158,3 +171,25 @@ class SanitizerReport:
         """Raise :class:`~repro.errors.SanitizerFindingsError` unless clean."""
         if not self.clean:
             raise SanitizerFindingsError(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly rendering (the ``lint_kernels --json`` artifact)."""
+        return {
+            "clean": self.clean,
+            "launches_checked": self.launches_checked,
+            "modules_linted": self.modules_linted,
+            "findings": [
+                {
+                    "detector": f.detector,
+                    "severity": f.severity,
+                    "kernel": f.kernel,
+                    "message": f.message,
+                    "sites": list(f.sites),
+                }
+                for f in self.findings
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The :meth:`to_dict` rendering as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

@@ -1,0 +1,88 @@
+"""Static kernel cost certifier (see ``docs/STATIC_ANALYSIS.md``).
+
+An abstract-interpretation pass over the kernel ASTs that derives, per
+kernel x variant, a **static resource certificate**: closed-form upper
+bounds on the events the simulator measures (issued warp-instructions,
+memory transactions, barrier generations), the shared-memory footprint
+against the device capacity, the exact device-global-memory bound of
+Table V, and site inventories (atomics shared vs global, divergence,
+coalesced vs scattered access).  A differential checker asserts on
+every traced launch that the certificate dominates the dynamic
+measurement, and ``scripts/check_static_bounds.py`` gates CI on the
+certificates against the committed bench JSON.
+
+Package layout:
+
+* :mod:`~repro.staticheck.symbolic` — the expression language bounds
+  are written in;
+* :mod:`~repro.staticheck.absint` — the AST site-inventory pass and
+  the ``__staticheck__`` coverage gate;
+* :mod:`~repro.staticheck.bounds` — the closed-form bounds per kernel
+  x variant and the variant-reachability table;
+* :mod:`~repro.staticheck.certificate` — certificate assembly;
+* :mod:`~repro.staticheck.differential` — the launch-time checker.
+"""
+
+from repro.staticheck.absint import (
+    KernelInventory,
+    ModuleInventory,
+    SharedAlloc,
+    Site,
+    WAIVE_MARK,
+    analyze_file,
+    analyze_module,
+    analyze_source,
+)
+from repro.staticheck.bounds import (
+    KernelBounds,
+    REACHABILITY,
+    cycles_bound,
+    device_memory_bound,
+    kernel_bounds,
+    launch_env,
+    loop_bounds,
+    ms_bound,
+    reachable_functions,
+    scan_bounds,
+    shared_footprint,
+)
+from repro.staticheck.certificate import (
+    KernelCertificate,
+    VariantCertificate,
+    all_variant_configs,
+    certify_all,
+    certify_variant,
+    core_inventories,
+    kernel_inventories,
+    render_certificates,
+    verify_inventories,
+)
+from repro.staticheck.differential import DifferentialChecker
+from repro.staticheck.symbolic import (
+    Add,
+    CeilDiv,
+    Const,
+    Expr,
+    Max,
+    Mul,
+    Param,
+    as_expr,
+)
+
+__all__ = [
+    # symbolic
+    "Expr", "Const", "Param", "Add", "Mul", "Max", "CeilDiv", "as_expr",
+    # absint
+    "Site", "SharedAlloc", "KernelInventory", "ModuleInventory",
+    "analyze_source", "analyze_file", "analyze_module", "WAIVE_MARK",
+    # bounds
+    "KernelBounds", "launch_env", "scan_bounds", "loop_bounds",
+    "kernel_bounds", "shared_footprint", "device_memory_bound",
+    "cycles_bound", "ms_bound", "REACHABILITY", "reachable_functions",
+    # certificates
+    "KernelCertificate", "VariantCertificate", "core_inventories",
+    "kernel_inventories", "verify_inventories", "certify_variant",
+    "certify_all", "all_variant_configs", "render_certificates",
+    # differential
+    "DifferentialChecker",
+]

@@ -1,0 +1,428 @@
+"""Closed-form launch bounds for the peeling kernels.
+
+This module is the *semantic* half of the abstract interpretation: for
+each kernel x :class:`~repro.core.variants.VariantConfig` it derives
+symbolic upper bounds — :class:`~repro.staticheck.symbolic.Expr` over
+the launch environment of :func:`launch_env` — on the three events the
+scheduler measures per launch (:class:`~repro.gpusim.scheduler.
+KernelStats`): warp-instructions ``issued``, 128-byte
+``mem_transactions`` and barrier generations ``barriers``.
+
+The derivation splits cleanly into
+
+* **trip-count invariants** (the loop bounds of the interpretation),
+  justified inline below and mirrored by the ``__staticheck__``
+  annotations in the kernel modules themselves:
+
+  - scan: every warp strides ``[base, n)`` with stride ``G*W*S``, so
+    it makes at most ``ceil(n / (G*W*S))`` trips (EC pads to at least
+    one trip so its per-trip barriers line up);
+  - loop: each block drains at most ``P = cap + scap`` buffer slots —
+    a slot past ``P`` raises ``BufferOverflowError`` before it is ever
+    processed — and every block iteration advances the head by at
+    least one slot, so there are at most ``P + 2`` iterations
+    (``2P + 3`` for VP, whose pipeline may interleave one drain
+    iteration per fetch iteration);
+  - an adjacency sweep makes ``ceil(deg(v) / lane_width)`` trips,
+    bounded by ``ceil(dmax / lane_width)``;
+
+* **per-trip instruction masses**, itemised from the site inventory
+  (every ``ctx`` access issues exactly one warp-instruction; ``charge``
+  literals add their constants) — the numbers in ``_SCAN_TRIP`` /
+  ``_SWEEP_BASE`` / ``_APPEND`` below, each annotated with the call
+  sites it covers.
+
+The bounds are *sound, not tight*: every constant rounds up (a 32-lane
+gather is charged 32 transactions even when it coalesces; a branch
+costs its worst side).  Tightness is the differential checker's
+problem — :mod:`repro.staticheck.differential` asserts per launch that
+these bounds dominate the dynamic measurement, and the hypothesis
+property suite asserts it across random graphs for all variants.
+
+The certified ordering story of Table II falls out statically: the
+per-trip masses satisfy ``ours < BC < EC`` for both kernels, which is
+exactly the instruction-overhead argument of the paper's ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.core.variants import VariantConfig
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.spec import DeviceSpec
+from repro.staticheck.symbolic import CeilDiv, Const, Expr, Max, Param
+
+__all__ = [
+    "KernelBounds",
+    "launch_env",
+    "scan_bounds",
+    "loop_bounds",
+    "kernel_bounds",
+    "shared_footprint",
+    "device_memory_bound",
+    "cycles_bound",
+    "ms_bound",
+    "REACHABILITY",
+    "reachable_functions",
+]
+
+# parameters (see repro.staticheck.symbolic for the catalogue)
+_N = Param("n")
+_ADJ = Param("adj")
+_DMAX = Param("dmax")
+_G = Param("G")
+_W = Param("W")
+_S = Param("S")
+_CAP = Param("cap")
+_SCAP = Param("scap")
+_P = Param("P")
+
+
+def launch_env(
+    num_vertices: int,
+    adjacency_len: int,
+    max_degree: int,
+    spec: DeviceSpec,
+    cfg: VariantConfig,
+    buffer_capacity: int | None = None,
+) -> Dict[str, float]:
+    """The evaluation environment for one graph x device x variant."""
+    cap = buffer_capacity or spec.block_buffer_capacity
+    scap = spec.shared_buffer_capacity if cfg.shared_buffer else 0
+    return {
+        "n": float(num_vertices),
+        "adj": float(adjacency_len),
+        "dmax": float(max_degree),
+        "G": float(spec.default_grid_dim),
+        "W": float(spec.warps_per_block),
+        "S": float(spec.warp_size),
+        "cap": float(cap),
+        "scap": float(scap),
+        "P": float(cap + scap),
+        "R": float(max_degree + 2),
+    }
+
+
+@dataclass(frozen=True)
+class KernelBounds:
+    """Symbolic per-launch upper bounds on the measured events."""
+
+    issued: Expr
+    mem_transactions: Expr
+    barriers: Expr
+
+    def evaluate(self, env: Mapping[str, float]) -> Dict[str, float]:
+        return {
+            "issued": self.issued.evaluate(env),
+            "mem_transactions": self.mem_transactions.evaluate(env),
+            "barriers": self.barriers.evaluate(env),
+        }
+
+
+# -- per-trip instruction masses (itemised from the site inventory) ---------
+
+#: scan kernel, per warp per strided trip:
+#:   _hit_flags: charge(4) + gload deg (1) + charge(1)            =  6
+#:   none:   smem_atomic_add e (1) + view.write gstore (1)        = +2
+#:   ballot: ballot(1)+popc(1)+charge(1) + atomic(1)+shfl(1)
+#:           +charge(1) + gstore(1)                               = +7
+#:   block:  Hillis-Steele charge(11) + sstore counts (1)
+#:           + Warp0 [sload(1)+charge(<=12)+atomic(1)+sstore(1)]
+#:           + stage 4 sload(1) + gstore(1)                       = +29
+_SCAN_TRIP = {"none": 8, "ballot": 13, "block": 35}
+
+#: loop kernel, per adjacency-sweep trip, before the append:
+#:   sync_warp(1) + gload neighbors(1) + gload deg(1) + charge(4)
+#:   + atomicSub(1) + restore atomicAdd(1)                        =  9
+_SWEEP_BASE = 9
+
+#: Line 23 append, per sweep trip.  ``plain`` writes straight to the
+#: global buffer (gstore 1); ``shared`` is the SM position translation
+#: of Fig. 7 (smem_get e_init + charge(4) + sstore + gstore = 7).
+#:   none:   smem_atomic_add(1) + write
+#:   ballot: ballot scan(3) + atomic(1) + shfl(1) + charge(1) + write
+#:   block:  Hillis-Steele(11) + atomic(1) + shfl(1) + charge(1) + write
+_APPEND = {"none": 2, "ballot": 7, "block": 15}
+_WRITE_SHARED_EXTRA = 6  # Fig. 7 translation on the write path
+
+#: fetching one buffer slot: plain gload(1); SM translation adds
+#: smem_get(1) + charge(4) + sload/gload(1) (Fig. 7 read path), and
+#: every fetched vertex costs one offsets gload for its bounds.
+_FETCH = {"plain": 2, "shared": 7}
+
+#: per block-iteration, per warp: smem_get s,e (2) + charge(3) +
+#: Warp-0 head advance smem_set (1)
+_ITER_OVERHEAD = 6
+#: VP adds per iteration: Warp 0 charge(2) + read_batch gload(1) +
+#: sstore pref(1) + smem_set s/pn_next (2), processors sload pref(1),
+#: Warp 0 pn_cur/pn_next handoff (2) — take the union as the bound
+_ITER_OVERHEAD_VP = 12
+#: virtual warping adds the per-iteration batch fetch: read_batch
+#: gload(1) + bounds gload(1)
+_ITER_OVERHEAD_VW = 8
+
+#: prologue + epilogue, per warp (Warp 0 does the most: tails gload +
+#: up to 5 smem_set on entry; smem_get + count atomic on exit)
+_PRO_EPI = 8
+
+#: worst-case 128-byte transactions per adjacency-sweep trip: a
+#: 32-lane gather of degrees (S), the atomicSub (S), the restore (S),
+#: the coalesced neighbor read (2) and the buffer append (2)
+def _sweep_mem(lane_gather: Expr | int = 0) -> Expr:
+    base = Const(4) + Const(3) * _S
+    if isinstance(lane_gather, int) and lane_gather == 0:
+        return base
+    return base + lane_gather
+
+
+# -- scan kernel -------------------------------------------------------------
+
+
+def scan_bounds(cfg: VariantConfig) -> KernelBounds:
+    """Per-launch bounds for ``scan(k)`` under ``cfg``."""
+    trips: Expr = CeilDiv(_N, _G * _W * _S)
+    if cfg.compaction == "block":
+        trips = Max(Const(1), trips)
+    per_trip = Const(_SCAN_TRIP[cfg.compaction])
+    issued = _G * _W * (Const(3) + per_trip * trips)
+    # per trip: deg gload (<=2 segments) + buffer gstore (<=2); plus
+    # Warp 0's tails write-back (1 per block)
+    mem = _G * (_W * (Const(4) * trips) + Const(1))
+    if cfg.compaction == "block":
+        barriers = _G * (Const(2) + Const(3) * trips)
+    else:
+        barriers = _G * Const(2)
+    return KernelBounds(issued, mem, barriers)
+
+
+# -- loop kernel -------------------------------------------------------------
+
+
+def loop_bounds(cfg: VariantConfig) -> KernelBounds:
+    """Per-launch bounds for ``loop(k)`` under ``cfg``."""
+    if cfg.virtual_warps > 1:
+        return _loop_bounds_virtual(cfg)
+    if cfg.prefetch:
+        iters: Expr = Const(2) * _P + Const(3)
+        overhead = _ITER_OVERHEAD_VP
+        fetch = _FETCH["plain"]
+        barrier_per_iter = 3
+    else:
+        iters = _P + Const(2)
+        overhead = _ITER_OVERHEAD
+        fetch = _FETCH["shared" if cfg.shared_buffer else "plain"]
+        barrier_per_iter = 2
+    sweep = _SWEEP_BASE + _APPEND[cfg.compaction]
+    if cfg.shared_buffer:
+        sweep += _WRITE_SHARED_EXTRA
+    sweeps_per_vertex = CeilDiv(_DMAX, _S)
+    per_block = (
+        _W * (Const(_PRO_EPI) + Const(overhead) * iters)
+        + _P * (Const(fetch) + Const(sweep) * sweeps_per_vertex)
+    )
+    issued = _G * per_block
+    mem = _G * (
+        Const(2)  # tails gload + count atomic
+        + Const(2) * iters  # VP batch fetch / iteration slack
+        + _P * (Const(3) + _sweep_mem() * sweeps_per_vertex)
+    )
+    barriers = _G * (Const(barrier_per_iter) * iters + Const(2))
+    return KernelBounds(issued, mem, barriers)
+
+
+def _loop_bounds_virtual(cfg: VariantConfig) -> KernelBounds:
+    vw = cfg.virtual_warps
+    lane_width = 32 // vw
+    iters = _P + Const(2)
+    #: per sweep trip over a batch of vw adjacency lists: sync(1) +
+    #: gload u(1) + gload deg(1) + charge(4) + atomicSub(1) +
+    #: restore(1) + append atomic(1) + write(1)
+    sweep = Const(11)
+    sweeps = CeilDiv(_DMAX, Const(lane_width))
+    per_block = (
+        _W * (Const(_PRO_EPI) + Const(_ITER_OVERHEAD_VW) * iters)
+        + _P * (Const(2) + sweep * sweeps)
+    )
+    issued = _G * per_block
+    # batch bounds gload touches 2*vw scattered offsets per instance
+    mem = _G * (
+        Const(2)
+        + Const(2) * iters
+        + _P * (Const(2 + 2 * vw) + _sweep_mem(Const(2 * vw)) * sweeps)
+    )
+    barriers = _G * (Const(2) * iters + Const(2))
+    return KernelBounds(issued, mem, barriers)
+
+
+def kernel_bounds(kernel: str, cfg: VariantConfig) -> KernelBounds:
+    """Bounds for one kernel by scheduler name (``scan_kernel`` /
+    ``loop_kernel``)."""
+    if cfg.ring_buffer:
+        raise ValueError(
+            "ring-buffer variants have no static buffer-slot bound "
+            "(the tail may lap the head); certificates cover the "
+            "Table II matrix and the virtual-warp extensions"
+        )
+    if kernel == "scan_kernel":
+        return scan_bounds(cfg)
+    if kernel == "loop_kernel":
+        return loop_bounds(cfg)
+    raise KeyError(f"no certified bounds for kernel {kernel!r}")
+
+
+# -- resource footprints -----------------------------------------------------
+
+
+def shared_footprint(kernel: str, cfg: VariantConfig) -> Dict[str, Expr]:
+    """Static per-block shared-memory demand, in vertex-ID slots.
+
+    Maps allocation name -> symbolic slot count; scalars are one slot
+    each.  Evaluating the sum against
+    ``DeviceSpec.shared_memory_per_block_bytes`` is the fit check.
+    """
+    slots: Dict[str, Expr] = {}
+    if kernel == "scan_kernel":
+        slots["e"] = Const(1)
+        if cfg.compaction == "block":
+            slots["warp_counts"] = _W
+            slots["warp_offsets"] = _W
+    elif kernel == "loop_kernel":
+        slots["s"] = Const(1)
+        slots["e"] = Const(1)
+        if cfg.shared_buffer:
+            slots["e_init"] = Const(1)
+            slots["B"] = _SCAP
+        if cfg.prefetch:
+            slots["pn_cur"] = Const(1)
+            slots["pn_next"] = Const(1)
+            slots["pref0"] = _W
+            slots["pref1"] = _W
+        if cfg.compaction == "block":
+            slots["warp_counts"] = _W  # block_scan_offsets staging
+    else:
+        raise KeyError(f"no shared-footprint model for kernel {kernel!r}")
+    return slots
+
+
+def device_memory_bound(cfg: VariantConfig) -> Expr:
+    """Exact peak device global memory of the host program, in bytes
+    per ``id_byte`` — multiply by ``DeviceSpec.id_bytes`` and add
+    ``context_overhead_bytes`` to get Table V's figure.
+
+    offsets (n+1) + neighbors (adj) + deg (n) + per-block buffers
+    (G*cap) + tails (G) + count (1) + the BC/EC vid/p/a staging arrays
+    (3 * G * W * S).  SM and VP buffer in *shared* memory, which is why
+    Ours/SM/VP tie at the smallest footprint in Table V.
+    """
+    base = (_N + Const(1)) + _ADJ + _N + _G * _CAP + _G + Const(1)
+    if cfg.compaction != "none":
+        base = base + Const(3) * _G * _W * _S
+    return base
+
+
+# -- cost-model combination --------------------------------------------------
+
+
+def cycles_bound(
+    bounds: KernelBounds, cost: CostModel, env: Mapping[str, float]
+) -> float:
+    """Numeric upper bound on one launch's kernel cycles.
+
+    Sound over-approximation of the roofline: the busiest SM is at most
+    the sum over blocks, ``max(compute, memory, path)`` at most their
+    sum, and every issued instruction stalls for at most the worst
+    single-instruction stall the cost model can charge.
+    """
+    values = bounds.evaluate(env)
+    warp_size = env["S"]
+    worst_stall = max(
+        cost.global_load_latency,
+        cost.shared_access_cycles,
+        cost.global_atomic_base + cost.global_atomic_conflict * (warp_size - 1),
+        cost.shared_atomic_base + cost.shared_atomic_conflict * (warp_size - 1),
+    )
+    return (
+        values["issued"] * (1.0 / cost.issue_width + 1.0 + worst_stall)
+        + values["mem_transactions"] * cost.mem_transaction_cycles
+        + values["barriers"] * cost.barrier_cycles
+    )
+
+
+def ms_bound(
+    bounds: KernelBounds, cost: CostModel, env: Mapping[str, float]
+) -> float:
+    """Numeric upper bound on one launch's simulated milliseconds."""
+    return (
+        cost.cycles_to_ms(cycles_bound(bounds, cost, env))
+        + cost.kernel_launch_us / 1000.0
+    )
+
+
+# -- reachability ------------------------------------------------------------
+
+#: the declared call graph the certifier reasons over; the AST pass
+#: (:meth:`repro.staticheck.absint.ModuleInventory.check_call_edges`)
+#: verifies every real kernel->kernel call edge appears here, so a new
+#: helper cannot be reached without being certified
+REACHABILITY: Dict[str, Tuple[str, ...]] = {
+    "scan_kernel": ("_scan_strided", "_scan_block_compaction"),
+    "_scan_strided": ("_hit_flags", "warp_compact_ballot"),
+    "_scan_block_compaction": (
+        "_hit_flags",
+        "warp_compact_hillis_steele",
+        "block_scan_offsets",
+    ),
+    "_hit_flags": (),
+    "loop_kernel": ("_drain", "_drain_virtual", "_drain_prefetched"),
+    "_drain": ("_process_vertex",),
+    "_drain_virtual": ("_process_vertices_virtual",),
+    "_drain_prefetched": ("_process_vertex",),
+    "_process_vertex": ("_append",),
+    "_process_vertices_virtual": (),
+    "_append": ("warp_compact_ballot", "warp_compact_hillis_steele"),
+    "warp_compact_ballot": ("hillis_steele_exclusive",),
+    "warp_compact_hillis_steele": ("hillis_steele_exclusive",),
+    "block_scan_offsets": ("hillis_steele_exclusive",),
+    "hillis_steele_exclusive": (),
+}
+
+
+def reachable_functions(kernel: str, cfg: VariantConfig) -> Tuple[str, ...]:
+    """Transitive closure of :data:`REACHABILITY` from ``kernel``,
+    pruned by the variant's configuration (the abstract interpretation
+    of the dispatch branches in ``scan_kernel`` / ``loop_kernel``)."""
+
+    def pruned(callees: Tuple[str, ...], caller: str) -> Tuple[str, ...]:
+        out = []
+        for callee in callees:
+            if callee == "_scan_block_compaction" and cfg.compaction != "block":
+                continue
+            if callee == "_scan_strided" and cfg.compaction == "block":
+                continue
+            if callee == "_drain_prefetched" and not cfg.prefetch:
+                continue
+            if callee == "_drain_virtual" and cfg.virtual_warps == 1:
+                continue
+            if callee == "_drain" and (cfg.prefetch or cfg.virtual_warps > 1):
+                continue
+            if callee == "warp_compact_ballot" and cfg.compaction != "ballot":
+                continue
+            if (
+                callee == "warp_compact_hillis_steele"
+                and cfg.compaction != "block"
+            ):
+                continue
+            out.append(callee)
+        return tuple(out)
+
+    seen: Dict[str, None] = {}
+    frontier = [kernel]
+    while frontier:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        seen[name] = None
+        frontier.extend(pruned(REACHABILITY.get(name, ()), name))
+    return tuple(seen)

@@ -1,0 +1,337 @@
+"""Static resource certificates: the certifier's user-facing product.
+
+A :class:`KernelCertificate` packages, for one kernel under one
+:class:`~repro.core.variants.VariantConfig`:
+
+* the closed-form :class:`~repro.staticheck.bounds.KernelBounds` on the
+  events the scheduler measures per launch;
+* the static shared-memory footprint and its fit against the
+  :class:`~repro.gpusim.spec.DeviceSpec` capacity;
+* the site inventory of the functions the variant actually reaches —
+  atomic-contention sites split shared vs global (the costmodel's
+  BC/EC story), divergence sites, and coalesced vs scattered global
+  accesses (the latency story behind VP's ``trackers`` win);
+* the barrier sites backing the barrier bound.
+
+A :class:`VariantCertificate` is the pair of kernel certificates plus
+the variant's exact device-global-memory bound (Table V).  Certificates
+are built entirely from the AST pass and the symbolic bounds — nothing
+is executed — and are checked two ways:
+
+* dynamically, by :mod:`repro.staticheck.differential` on every traced
+  launch;
+* in CI, by ``scripts/check_static_bounds.py`` against the committed
+  bench JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+import repro.core.buffers as _buffers_mod
+import repro.core.compaction as _compaction_mod
+import repro.core.loop_kernel as _loop_mod
+import repro.core.scan_kernel as _scan_mod
+from repro.core.variants import EXTENSION_VARIANTS, VARIANTS, VariantConfig
+from repro.gpusim.spec import DeviceSpec
+from repro.sanitize.report import SanitizerFinding
+from repro.staticheck.absint import (
+    KernelInventory,
+    ModuleInventory,
+    Site,
+    analyze_module,
+)
+from repro.staticheck.bounds import (
+    REACHABILITY,
+    KernelBounds,
+    device_memory_bound,
+    kernel_bounds,
+    reachable_functions,
+    shared_footprint,
+)
+from repro.staticheck.symbolic import Expr
+
+__all__ = [
+    "KernelCertificate",
+    "VariantCertificate",
+    "core_inventories",
+    "kernel_inventories",
+    "verify_inventories",
+    "certify_variant",
+    "certify_all",
+    "all_variant_configs",
+    "render_certificates",
+]
+
+#: the certified core modules, in analysis order
+_CORE_MODULES = (_scan_mod, _loop_mod, _compaction_mod, _buffers_mod)
+
+
+def core_inventories() -> List[ModuleInventory]:
+    """AST inventories of the four certified ``repro.core`` modules."""
+    return [analyze_module(mod) for mod in _CORE_MODULES]
+
+
+def kernel_inventories() -> Dict[str, KernelInventory]:
+    """All certified kernel functions, keyed by bare function name.
+
+    Names are unique across the four core modules (the coverage gate
+    in :func:`verify_inventories` would flag a collision as a stale
+    reachability table long before it became ambiguous here).
+    """
+    merged: Dict[str, KernelInventory] = {}
+    for module in core_inventories():
+        merged.update(module.kernels)
+    return merged
+
+
+def verify_inventories() -> List[SanitizerFinding]:
+    """The static coverage gate over the core modules.
+
+    Returns ``uncertified-kernel`` findings when a ``ctx`` function is
+    missing from its module's ``__staticheck__`` annotation, when an
+    annotation has gone stale, or when a real call edge between kernel
+    functions is absent from the certifier's reachability table.
+    """
+    findings: List[SanitizerFinding] = []
+    for module in core_inventories():
+        findings.extend(module.coverage_findings())
+        findings.extend(module.check_call_edges(REACHABILITY))
+    return findings
+
+
+def _gather_sites(
+    reachable: Tuple[str, ...],
+    inventories: Mapping[str, KernelInventory],
+    pick,
+) -> Tuple[Site, ...]:
+    sites: List[Site] = []
+    for name in reachable:
+        inv = inventories.get(name)
+        if inv is not None:
+            sites.extend(pick(inv))
+    return tuple(sorted(sites, key=lambda s: (s.function, s.line)))
+
+
+@dataclass(frozen=True)
+class KernelCertificate:
+    """Static certificate of one kernel under one variant."""
+
+    kernel: str
+    variant: str
+    bounds: KernelBounds
+    #: shared-memory demand per block: allocation name -> symbolic slots
+    shared_slots: Mapping[str, Expr]
+    #: functions the variant's dispatch makes reachable from the kernel
+    reachable: Tuple[str, ...]
+    shared_atomic_sites: Tuple[Site, ...]
+    global_atomic_sites: Tuple[Site, ...]
+    barrier_sites: Tuple[Site, ...]
+    divergence_sites: Tuple[Site, ...]
+    coalesced_sites: Tuple[Site, ...]
+    scattered_sites: Tuple[Site, ...]
+
+    def shared_bytes(self, env: Mapping[str, float], id_bytes: int) -> int:
+        """Evaluated per-block shared-memory demand in bytes."""
+        slots = sum(expr.evaluate(env) for expr in self.shared_slots.values())
+        return int(slots) * id_bytes
+
+    def check_shared_fit(
+        self, spec: DeviceSpec, env: Mapping[str, float]
+    ) -> List[SanitizerFinding]:
+        """``static-resource`` finding when the footprint cannot fit."""
+        needed = self.shared_bytes(env, spec.id_bytes)
+        if needed <= spec.shared_memory_per_block_bytes:
+            return []
+        detail = ", ".join(
+            f"{name}={expr}" for name, expr in self.shared_slots.items()
+        )
+        return [
+            SanitizerFinding(
+                "static-resource",
+                "error",
+                f"{self.kernel}[{self.variant}]",
+                f"static shared-memory footprint {needed} B exceeds the "
+                f"device's {spec.shared_memory_per_block_bytes} B per block "
+                f"({detail})",
+            )
+        ]
+
+    def to_dict(self, env: Mapping[str, float] | None = None) -> Dict[str, object]:
+        """JSON-friendly rendering (numeric bounds when ``env`` given)."""
+        data: Dict[str, object] = {
+            "kernel": self.kernel,
+            "variant": self.variant,
+            "bounds": {
+                "issued": str(self.bounds.issued),
+                "mem_transactions": str(self.bounds.mem_transactions),
+                "barriers": str(self.bounds.barriers),
+            },
+            "shared_slots": {
+                name: str(expr) for name, expr in self.shared_slots.items()
+            },
+            "reachable": list(self.reachable),
+            "sites": {
+                "shared_atomic": len(self.shared_atomic_sites),
+                "global_atomic": len(self.global_atomic_sites),
+                "barrier": len(self.barrier_sites),
+                "divergence": len(self.divergence_sites),
+                "coalesced": len(self.coalesced_sites),
+                "scattered": len(self.scattered_sites),
+            },
+        }
+        if env is not None:
+            data["evaluated"] = self.bounds.evaluate(env)
+        return data
+
+
+@dataclass(frozen=True)
+class VariantCertificate:
+    """The two kernel certificates plus the variant's memory bound."""
+
+    variant: str
+    config: VariantConfig
+    scan: KernelCertificate
+    loop: KernelCertificate
+    #: exact peak device global memory, in id-sized words (multiply by
+    #: ``id_bytes`` and add ``context_overhead_bytes``; see bounds.py)
+    device_memory_words: Expr
+
+    @property
+    def kernels(self) -> Tuple[KernelCertificate, KernelCertificate]:
+        return (self.scan, self.loop)
+
+    def certificate_for(self, kernel: str) -> KernelCertificate:
+        for cert in self.kernels:
+            if cert.kernel == kernel:
+                return cert
+        raise KeyError(f"variant {self.variant!r} has no certificate "
+                       f"for kernel {kernel!r}")
+
+    def device_memory_bytes(
+        self, env: Mapping[str, float], spec: DeviceSpec
+    ) -> int:
+        words = self.device_memory_words.evaluate(env)
+        return int(words) * spec.id_bytes + spec.context_overhead_bytes
+
+    def check_fit(
+        self, spec: DeviceSpec, env: Mapping[str, float]
+    ) -> List[SanitizerFinding]:
+        """Shared-memory fit findings of both kernels."""
+        findings = self.scan.check_shared_fit(spec, env)
+        findings.extend(self.loop.check_shared_fit(spec, env))
+        return findings
+
+    def to_dict(self, env: Mapping[str, float] | None = None) -> Dict[str, object]:
+        return {
+            "variant": self.variant,
+            "scan_kernel": self.scan.to_dict(env),
+            "loop_kernel": self.loop.to_dict(env),
+            "device_memory_words": str(self.device_memory_words),
+        }
+
+
+def _kernel_certificate(
+    kernel: str,
+    cfg: VariantConfig,
+    inventories: Mapping[str, KernelInventory],
+) -> KernelCertificate:
+    reachable = reachable_functions(kernel, cfg)
+    return KernelCertificate(
+        kernel=kernel,
+        variant=cfg.name,
+        bounds=kernel_bounds(kernel, cfg),
+        shared_slots=shared_footprint(kernel, cfg),
+        reachable=reachable,
+        shared_atomic_sites=_gather_sites(
+            reachable, inventories, lambda i: i.shared_atomic_sites
+        ),
+        global_atomic_sites=_gather_sites(
+            reachable, inventories, lambda i: i.global_atomic_sites
+        ),
+        barrier_sites=_gather_sites(
+            reachable, inventories, lambda i: i.barrier_sites
+        ),
+        divergence_sites=_gather_sites(
+            reachable, inventories, lambda i: i.divergence_sites
+        ),
+        coalesced_sites=_gather_sites(
+            reachable, inventories, lambda i: i.coalesced_sites
+        ),
+        scattered_sites=_gather_sites(
+            reachable, inventories, lambda i: i.scattered_sites
+        ),
+    )
+
+
+def certify_variant(
+    cfg: VariantConfig,
+    inventories: Mapping[str, KernelInventory] | None = None,
+) -> VariantCertificate:
+    """Build the static certificate of one variant.
+
+    Raises ``ValueError`` for ring-buffer variants, whose buffer slots
+    have no static bound (see :func:`repro.staticheck.bounds.
+    kernel_bounds`).
+    """
+    if inventories is None:
+        inventories = kernel_inventories()
+    return VariantCertificate(
+        variant=cfg.name,
+        config=cfg,
+        scan=_kernel_certificate("scan_kernel", cfg, inventories),
+        loop=_kernel_certificate("loop_kernel", cfg, inventories),
+        device_memory_words=device_memory_bound(cfg),
+    )
+
+
+def all_variant_configs() -> Dict[str, VariantConfig]:
+    """The eleven certified variants: Table II's nine plus vw2/vw4."""
+    configs: Dict[str, VariantConfig] = dict(VARIANTS)
+    configs.update(EXTENSION_VARIANTS)
+    return configs
+
+
+def certify_all(
+    inventories: Mapping[str, KernelInventory] | None = None,
+) -> Dict[str, VariantCertificate]:
+    """Certificates for all eleven variants, keyed by variant name."""
+    if inventories is None:
+        inventories = kernel_inventories()
+    return {
+        name: certify_variant(cfg, inventories)
+        for name, cfg in all_variant_configs().items()
+    }
+
+
+def render_certificates(certs: Mapping[str, VariantCertificate]) -> str:
+    """Human-readable certificate dump (the ``--staticheck`` listing)."""
+    lines: List[str] = [
+        f"static resource certificates ({len(certs)} variants; see "
+        "docs/STATIC_ANALYSIS.md for the parameter table)"
+    ]
+    for name in certs:
+        cert = certs[name]
+        lines.append(f"\nvariant {name}:")
+        lines.append(
+            f"  device memory (id-words): {cert.device_memory_words}"
+        )
+        for kc in cert.kernels:
+            shared = ", ".join(
+                f"{alloc}={expr}" for alloc, expr in kc.shared_slots.items()
+            )
+            lines.extend([
+                f"  {kc.kernel}:",
+                f"    issued           <= {kc.bounds.issued}",
+                f"    mem_transactions <= {kc.bounds.mem_transactions}",
+                f"    barriers         <= {kc.bounds.barriers}",
+                f"    shared slots: {shared}",
+                f"    sites: {len(kc.shared_atomic_sites)} shared-atomic, "
+                f"{len(kc.global_atomic_sites)} global-atomic, "
+                f"{len(kc.barrier_sites)} barrier, "
+                f"{len(kc.divergence_sites)} divergence, "
+                f"{len(kc.coalesced_sites)} coalesced, "
+                f"{len(kc.scattered_sites)} scattered",
+            ])
+    return "\n".join(lines)

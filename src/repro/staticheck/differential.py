@@ -1,0 +1,93 @@
+"""Differential checking: static certificates vs dynamic measurement.
+
+The certifier's bounds are hand-derived; the differential checker is
+what keeps them honest.  A :class:`DifferentialChecker` is armed with
+one variant's :class:`~repro.staticheck.certificate.VariantCertificate`
+and the launch environment of a concrete run; every traced launch is
+then fed to :meth:`observe`, which evaluates the closed-form bounds and
+emits a ``static-bound`` :class:`~repro.sanitize.report.
+SanitizerFinding` whenever the dynamic
+:class:`~repro.gpusim.scheduler.KernelStats` exceeds the certificate —
+i.e. whenever the abstract interpretation was *unsound* for this
+program point.
+
+Construction also runs the purely static checks, so a ``--staticheck``
+run surfaces them even on graphs too small to stress anything:
+
+* coverage and call-edge findings from
+  :func:`~repro.staticheck.certificate.verify_inventories`
+  (``uncertified-kernel``);
+* the shared-memory fit of both kernels against the device
+  (``static-resource``).
+
+Like the race sanitizer, observation charges no simulated cycles:
+a staticheck-on run's ``simulated_ms`` is byte-identical to a plain
+run (the hypothesis suite pins this).
+"""
+
+from __future__ import annotations
+
+from repro.core.variants import VariantConfig
+from repro.gpusim.scheduler import KernelStats
+from repro.gpusim.spec import DeviceSpec
+from repro.sanitize.report import SanitizerFinding, SanitizerReport
+from repro.staticheck.bounds import launch_env
+from repro.staticheck.certificate import (
+    VariantCertificate,
+    certify_variant,
+    verify_inventories,
+)
+
+__all__ = ["DifferentialChecker"]
+
+#: the KernelStats fields a certificate bounds, in report order
+_CHECKED_EVENTS = ("issued", "mem_transactions", "barriers")
+
+
+class DifferentialChecker:
+    """Asserts static bounds dominate dynamic stats, launch by launch."""
+
+    def __init__(
+        self,
+        cfg: VariantConfig,
+        spec: DeviceSpec,
+        num_vertices: int,
+        adjacency_len: int,
+        max_degree: int,
+        buffer_capacity: int | None = None,
+        certificate: VariantCertificate | None = None,
+    ) -> None:
+        self.cfg = cfg
+        self.spec = spec
+        self.certificate = certificate or certify_variant(cfg)
+        self.env = launch_env(
+            num_vertices, adjacency_len, max_degree, spec, cfg,
+            buffer_capacity=buffer_capacity,
+        )
+        self.report = SanitizerReport()
+        # static pre-checks: kernel coverage and shared-memory fit
+        self.report.extend(verify_inventories())
+        self.report.extend(self.certificate.check_fit(spec, self.env))
+        self.report.modules_linted += 4  # the four certified core modules
+
+    def observe(self, kernel: str, stats: KernelStats) -> None:
+        """Check one launch's measurement against the certificate."""
+        cert = self.certificate.certificate_for(kernel)
+        bounds = cert.bounds.evaluate(self.env)
+        self.report.launches_checked += 1
+        for event in _CHECKED_EVENTS:
+            measured = float(getattr(stats, event))
+            allowed = bounds[event]
+            if measured > allowed:
+                self.report.extend([
+                    SanitizerFinding(
+                        "static-bound",
+                        "error",
+                        f"{kernel}[{self.cfg.name}]",
+                        f"dynamic {event} = {measured:g} exceeds the static "
+                        f"certificate bound {allowed:g} "
+                        f"({getattr(cert.bounds, event)}) — the abstract "
+                        "interpretation is unsound for this launch; fix the "
+                        "bound in repro.staticheck.bounds or the kernel",
+                    )
+                ])

@@ -1,0 +1,200 @@
+"""Closed-form symbolic expressions for static resource certificates.
+
+A certificate bound is a *function* of launch and graph parameters —
+``G*(2 + 3*ceil(n / (G*W*S)))`` barriers, say — not a number.  This
+module provides the tiny expression language those bounds are written
+in: constants, named parameters, ``+``, ``*``, ``max`` and ceiling
+division, with exact evaluation over an environment and a readable
+rendering for the certificate tables.
+
+The canonical parameter names (the environment keys
+:func:`repro.staticheck.bounds.launch_env` produces):
+
+=========  ==========================================================
+``n``      number of vertices the launch covers
+``adj``    length of the CSR ``neighbors`` array (2·|E| undirected)
+``dmax``   maximum degree of the graph
+``G``      grid dimension (blocks per launch, the paper's BLK_NUM)
+``W``      warps per block (BLK_DIM >> 5)
+``S``      warp size (32)
+``cap``    per-block global-memory buffer capacity in vertex IDs
+``scap``   per-block shared-memory buffer capacity (SM variant, else 0)
+``P``      effective per-block buffer slots (``cap + scap``)
+``R``      upper bound on peel rounds (``dmax + 2``, the host's cap)
+=========  ==========================================================
+
+Expressions are immutable and hashable; Python operators build them
+(``2 * P + CeilDiv(n, G * W * S)``), and plain ints/floats coerce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple, Union
+
+__all__ = ["Expr", "Const", "Param", "Add", "Mul", "Max", "CeilDiv", "as_expr"]
+
+Number = Union[int, float]
+ExprLike = Union["Expr", int, float]
+
+
+class Expr:
+    """Base class of certificate-bound expressions."""
+
+    def evaluate(self, env: Mapping[str, Number]) -> float:
+        """Numeric value of the bound under ``env`` (raises ``KeyError``
+        for a parameter the environment does not define)."""
+        raise NotImplementedError
+
+    def params(self) -> Tuple[str, ...]:
+        """Sorted names of every parameter the expression mentions."""
+        found: Dict[str, None] = {}
+        self._collect(found)
+        return tuple(sorted(found))
+
+    def _collect(self, out: Dict[str, None]) -> None:
+        raise NotImplementedError
+
+    # -- operator sugar ----------------------------------------------------
+
+    def __add__(self, other: ExprLike) -> "Expr":
+        return Add(self, as_expr(other))
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return Add(as_expr(other), self)
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return Mul(self, as_expr(other))
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return Mul(as_expr(other), self)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self})"
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce a plain number to a :class:`Const`."""
+    if isinstance(value, Expr):
+        return value
+    return Const(value)
+
+
+class Const(Expr):
+    """A literal constant."""
+
+    def __init__(self, value: Number) -> None:
+        self.value = value
+
+    def evaluate(self, env: Mapping[str, Number]) -> float:
+        return float(self.value)
+
+    def _collect(self, out: Dict[str, None]) -> None:
+        return None
+
+    def __str__(self) -> str:
+        if isinstance(self.value, float) and self.value == int(self.value):
+            return str(int(self.value))
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value))
+
+
+class Param(Expr):
+    """A named launch/graph parameter (see the module table)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, env: Mapping[str, Number]) -> float:
+        return float(env[self.name])
+
+    def _collect(self, out: Dict[str, None]) -> None:
+        out[self.name] = None
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Param) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("param", self.name))
+
+
+class _Binary(Expr):
+    _symbol = "?"
+
+    def __init__(self, left: ExprLike, right: ExprLike) -> None:
+        self.left = as_expr(left)
+        self.right = as_expr(right)
+
+    def _collect(self, out: Dict[str, None]) -> None:
+        self.left._collect(out)
+        self.right._collect(out)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.left == other.left  # type: ignore[attr-defined]
+            and self.right == other.right  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.left, self.right))
+
+
+class Add(_Binary):
+    """``left + right``."""
+
+    _symbol = "+"
+
+    def evaluate(self, env: Mapping[str, Number]) -> float:
+        return self.left.evaluate(env) + self.right.evaluate(env)
+
+    def __str__(self) -> str:
+        return f"{self.left} + {self.right}"
+
+
+class Mul(_Binary):
+    """``left * right`` (sums parenthesised for readability)."""
+
+    _symbol = "*"
+
+    def evaluate(self, env: Mapping[str, Number]) -> float:
+        return self.left.evaluate(env) * self.right.evaluate(env)
+
+    def __str__(self) -> str:
+        def wrap(expr: Expr) -> str:
+            if isinstance(expr, Add):
+                return f"({expr})"
+            return str(expr)
+
+        return f"{wrap(self.left)}*{wrap(self.right)}"
+
+
+class Max(_Binary):
+    """``max(left, right)`` — e.g. EC's ``max(1, trips)``."""
+
+    def evaluate(self, env: Mapping[str, Number]) -> float:
+        return max(self.left.evaluate(env), self.right.evaluate(env))
+
+    def __str__(self) -> str:
+        return f"max({self.left}, {self.right})"
+
+
+class CeilDiv(_Binary):
+    """``ceil(left / right)`` over non-negative operands."""
+
+    def evaluate(self, env: Mapping[str, Number]) -> float:
+        num = self.left.evaluate(env)
+        den = self.right.evaluate(env)
+        if den <= 0:
+            raise ZeroDivisionError(f"ceil({num} / {den})")
+        return float(-(-int(num) // int(den)))
+
+    def __str__(self) -> str:
+        return f"ceil({self.left} / {self.right})"

@@ -20,6 +20,7 @@ def test_detector_names_are_stable():
         "shared-race", "global-race", "barrier-divergence", "ballot-hazard",
         "illegal-yield", "wall-clock", "rng", "host-mutation",
         "unsynced-shared",
+        "static-bound", "static-resource", "uncertified-kernel",
     )
 
 

@@ -1,0 +1,90 @@
+"""CI-gate tests: scripts/check_static_bounds.py passes on the
+committed bench JSON and demonstrably fails on doctored data."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+RESULTS = REPO_ROOT / "benchmarks" / "results"
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_static_bounds", REPO_ROOT / "scripts" / "check_static_bounds.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _doctor(tmp_path, name, mutate):
+    record = json.loads((RESULTS / f"{name}.json").read_text())
+    mutate(record)
+    path = tmp_path / f"{name}.json"
+    path.write_text(json.dumps(record))
+    return str(path)
+
+
+def test_gate_passes_on_committed_json(gate, capsys):
+    assert gate.main([]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_gate_fails_when_ours_bc_ec_ordering_shifts(gate, tmp_path, capsys):
+    def swap_ours_and_ec(record):
+        columns = record["columns"]
+        i_ours, i_ec = columns.index("ours") - 1, columns.index("ec") - 1
+        cells = record["rows"][5]["cells"]
+        cells[i_ours], cells[i_ec] = cells[i_ec], cells[i_ours]
+
+    table2 = _doctor(tmp_path, "table2_ablation", swap_ours_and_ec)
+    assert gate.main([table2]) == 1
+    err = capsys.readouterr().err
+    assert "ordering shifted" in err
+
+
+def test_gate_fails_when_trackers_winner_shifts(gate, tmp_path, capsys):
+    def ours_wins_trackers(record):
+        columns = record["columns"]
+        i_ours, i_vp = columns.index("ours") - 1, columns.index("vp") - 1
+        for row in record["rows"]:
+            if row["dataset"] == "trackers":
+                row["cells"][i_ours] = row["cells"][i_vp]  # tie: vp no
+                # longer strictly wins
+
+    table2 = _doctor(tmp_path, "table2_ablation", ours_wins_trackers)
+    assert gate.main([table2]) == 1
+    assert "latency-boundness" in capsys.readouterr().err
+
+
+def test_gate_fails_when_certificate_ceiling_is_violated(gate, tmp_path,
+                                                         capsys):
+    def absurd_time(record):
+        record["rows"][0]["cells"][0] = "999999.0"
+
+    table2 = _doctor(tmp_path, "table2_ablation", absurd_time)
+    assert gate.main([table2]) == 1
+    err = capsys.readouterr().err
+    assert "ceiling" in err
+
+
+def test_gate_fails_when_memory_row_breaks_certificate(gate, tmp_path,
+                                                       capsys):
+    def inflate_sm(record):
+        columns = record["columns"]
+        i_sm = columns.index("gpu-sm") - 1
+        record["rows"][0]["cells"][i_sm] = "9.99"
+
+    table5 = _doctor(tmp_path, "table5_memory", inflate_sm)
+    assert gate.main([str(RESULTS / "table2_ablation.json"), table5]) == 1
+    assert "certified" in capsys.readouterr().err
+
+
+def test_gate_exits_2_for_missing_file(gate, capsys):
+    assert gate.main(["/nonexistent/table2.json"]) == 2

@@ -1,0 +1,77 @@
+"""Expression-language tests for the certificate bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.staticheck.symbolic import (
+    Add,
+    CeilDiv,
+    Const,
+    Max,
+    Mul,
+    Param,
+    as_expr,
+)
+
+
+def test_evaluate_composed_expression():
+    # G*(2 + 3*ceil(n / (G*W*S))) with n=1000, G=4, W=16, S=32
+    expr = Param("G") * (Const(2) + Const(3) * CeilDiv(
+        Param("n"), Param("G") * Param("W") * Param("S")
+    ))
+    env = {"n": 1000.0, "G": 4.0, "W": 16.0, "S": 32.0}
+    assert expr.evaluate(env) == 4 * (2 + 3 * 1)  # ceil(1000/2048) = 1
+
+
+def test_ceildiv_rounds_up_and_rejects_zero_denominator():
+    assert CeilDiv(Const(5), Const(2)).evaluate({}) == 3
+    assert CeilDiv(Const(4), Const(2)).evaluate({}) == 2
+    assert CeilDiv(Const(0), Const(7)).evaluate({}) == 0
+    with pytest.raises(ZeroDivisionError):
+        CeilDiv(Const(1), Const(0)).evaluate({})
+
+
+def test_max_picks_larger_side():
+    expr = Max(Const(1), Param("t"))
+    assert expr.evaluate({"t": 0.0}) == 1
+    assert expr.evaluate({"t": 9.0}) == 9
+
+
+def test_params_collects_sorted_unique_names():
+    expr = Param("n") + Param("G") * Param("n")
+    assert expr.params() == ("G", "n")
+
+
+def test_operator_sugar_coerces_plain_numbers():
+    expr = 2 * Param("P") + 3
+    assert isinstance(expr, Add)
+    assert expr.evaluate({"P": 5.0}) == 13
+
+
+def test_rendering_is_readable():
+    expr = Param("G") * (Const(2) + Param("P"))
+    assert str(expr) == "G*(2 + P)"
+    assert str(CeilDiv(Param("n"), Param("S"))) == "ceil(n / S)"
+    assert str(Max(Const(1), Param("t"))) == "max(1, t)"
+
+
+def test_expressions_are_hashable_and_comparable():
+    a = Param("n") + Const(1)
+    b = Param("n") + Const(1)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != Param("n") + Const(2)
+    assert Const(3) != Param("n")
+    assert len({a, b, Mul(a, b)}) == 2
+
+
+def test_as_expr_passthrough_and_coercion():
+    p = Param("x")
+    assert as_expr(p) is p
+    assert as_expr(7) == Const(7)
+
+
+def test_missing_parameter_raises_key_error():
+    with pytest.raises(KeyError):
+        Param("missing").evaluate({"n": 1.0})

@@ -92,3 +92,29 @@ def test_sanitize_unsupported_algorithm(tmp_path, capsys):
     assert main(["--input", str(path), "--algorithm", "bz",
                  "--sanitize"]) == 2
     assert "--sanitize" in capsys.readouterr().err
+
+
+def test_staticheck_without_source_dumps_certificates(capsys):
+    assert main(["--staticheck"]) == 0
+    out = capsys.readouterr().out
+    assert "variant ours:" in out
+    assert "variant vw4:" in out
+    assert "issued" in out
+
+
+def test_staticheck_clean_run(tmp_path, capsys):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n1 2\n0 2\n")
+    assert main(["--input", str(path), "--algorithm", "gpu-ec+vp",
+                 "--staticheck"]) == 0
+    out = capsys.readouterr().out
+    assert "staticheck:" in out
+    assert "clean" in out
+
+
+def test_staticheck_unsupported_algorithm(tmp_path, capsys):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n1 2\n0 2\n")
+    assert main(["--input", str(path), "--algorithm", "pkc",
+                 "--staticheck"]) == 2
+    assert "--staticheck" in capsys.readouterr().err
