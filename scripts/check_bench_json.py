@@ -18,14 +18,17 @@ from __future__ import annotations
 import sys
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parents[1]
-sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _bench_common import RESULTS_DIR, bootstrap  # noqa: E402
+
+bootstrap()
 
 from repro.bench.schema import validate_file, validate_results_dir  # noqa: E402
 
 
 def main(argv: list[str]) -> int:
-    targets = argv or [str(REPO_ROOT / "benchmarks" / "results")]
+    targets = argv or [str(RESULTS_DIR)]
     problems: list[str] = []
     checked = 0
     for target in targets:

@@ -1,0 +1,337 @@
+#!/usr/bin/env python
+"""CI gate: profile the kernel variants and diff against the baseline.
+
+Usage::
+
+    python scripts/check_perf_regression.py [BASELINE_JSON]
+        [--quick] [--update] [--report FILE] [--flamegraph FILE]
+        [--trajectory FILE | --no-trajectory]
+
+Re-runs every kernel variant pinned in the committed baseline
+(``benchmarks/results/profile_baseline.json``) under the kernel
+profiler (:mod:`repro.profile`) and fails the build when the fresh
+measurements drift from the committed ones:
+
+1. **schema** — every fresh profile must be a valid
+   ``repro.profile/v1`` record (the validator also re-checks the
+   arithmetic invariants against ``CostModel.block_cycles``);
+2. **cycle budgets** — each variant's total simulated cycles must stay
+   within the baseline tolerance of its committed budget, in *both*
+   directions: slower is a regression, faster means the baseline is
+   stale (re-baseline with ``--update``);
+3. **bound classes** — each kernel's speed-of-light bound class
+   (compute / memory / latency) must match the pinned one; a flipped
+   class means the roofline balance moved even if totals did not
+   (e.g. the loop kernel is latency-bound on ``web-Google`` but
+   memory-bound on ``trackers``);
+4. **bench-JSON diff** — the fresh simulated times must agree with the
+   committed Table II row for the baseline dataset
+   (``table2_ablation.json``), tying the profile gate to the published
+   artefacts;
+5. **Table II winner** — on the ``vp_check`` dataset (``trackers``)
+   the VP variant must still beat Ours, the paper's latency-boundness
+   claim (skipped by ``--quick``, which exists for fast local runs
+   and for the doctored-baseline tests).
+
+Every run appends a dated record to
+``benchmarks/results/BENCH_trajectory.json`` (``--trajectory`` moves
+it, ``--no-trajectory`` skips it) so the repository accumulates a
+cycle-count history.  ``--report`` / ``--flamegraph`` write the
+speed-of-light tables and the Ours folded stacks for CI artifacts.
+``--update`` rewrites the baseline from the fresh measurements
+instead of checking.  Exit status: 0 OK, 1 drift, 2 configuration
+error.  See the "Profiling" section of ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from datetime import date
+from pathlib import Path
+from typing import Any, Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _bench_common import (  # noqa: E402
+    RESULTS_DIR,
+    bootstrap,
+    cells_by_dataset,
+    load_record,
+)
+
+bootstrap()
+
+from repro.core.host import gpu_peel  # noqa: E402
+from repro.graph import datasets  # noqa: E402
+from repro.profile import ProfileReport, validate_profile  # noqa: E402
+
+BASELINE_SCHEMA = "repro.profile-baseline/v1"
+TRAJECTORY_SCHEMA = "repro.bench-trajectory/v1"
+DEFAULT_BASELINE = RESULTS_DIR / "profile_baseline.json"
+DEFAULT_TRAJECTORY = RESULTS_DIR / "BENCH_trajectory.json"
+#: absolute slack for Table II cells, which are rounded to 3 decimals
+_TABLE_MS_SLACK = 0.0005
+
+
+def _measure(dataset: str, variants: List[str]) -> Dict[str, Dict[str, Any]]:
+    """Run each variant profiled; return its fresh figures + report."""
+    graph = datasets.load(dataset)
+    fresh: Dict[str, Dict[str, Any]] = {}
+    for name in variants:
+        result = gpu_peel(graph, variant=name, profile=True)
+        report: ProfileReport = result.profile
+        fresh[name] = {
+            "cycles": report.summary().cycles,
+            "ms": result.simulated_ms,
+            "bounds": {
+                kernel: agg.bound
+                for kernel, agg in report.kernels().items()
+            },
+            "report": report,
+        }
+    return fresh
+
+
+def _check_variant(
+    name: str,
+    fresh: Dict[str, Any],
+    pinned: Dict[str, Any],
+    tolerance: float,
+    where: str,
+) -> List[str]:
+    problems: List[str] = []
+    schema_errors = validate_profile(fresh["report"].to_json())
+    problems.extend(
+        f"{where}: {name}: invalid fresh profile: {err}"
+        for err in schema_errors
+    )
+    budget = float(pinned["cycles"])
+    cycles = float(fresh["cycles"])
+    if cycles > budget * (1.0 + tolerance):
+        problems.append(
+            f"{where}: {name}: {cycles:.0f} cycles exceeds the committed "
+            f"budget {budget:.0f} by more than {tolerance:.0%} — "
+            "performance regression"
+        )
+    elif cycles < budget * (1.0 - tolerance):
+        problems.append(
+            f"{where}: {name}: {cycles:.0f} cycles undershoots the "
+            f"committed budget {budget:.0f} by more than {tolerance:.0%} "
+            "— stale baseline, re-run with --update"
+        )
+    for kernel, pinned_bound in dict(pinned.get("bounds", {})).items():
+        got = fresh["bounds"].get(kernel)
+        if got != pinned_bound:
+            problems.append(
+                f"{where}: {name}: {kernel} is {got}-bound, baseline "
+                f"pins {pinned_bound}-bound — the roofline balance moved"
+            )
+    return problems
+
+
+def _check_table2(
+    dataset: str,
+    fresh: Dict[str, Dict[str, Any]],
+    tolerance: float,
+) -> List[str]:
+    """Fresh simulated times must agree with the committed Table II."""
+    table_path = RESULTS_DIR / "table2_ablation.json"
+    if not table_path.exists():
+        return [f"table2: {table_path} missing"]
+    cells = cells_by_dataset(load_record(table_path))
+    row = cells.get(dataset)
+    if row is None:
+        return [f"table2: no committed row for dataset {dataset!r}"]
+    problems: List[str] = []
+    for name, committed_text in row.items():
+        if name not in fresh:
+            continue
+        committed = float(committed_text)
+        measured = float(fresh[name]["ms"])
+        slack = _TABLE_MS_SLACK + tolerance * committed
+        if abs(measured - committed) > slack:
+            problems.append(
+                f"table2: {dataset}: {name} measured {measured:.4f} ms, "
+                f"committed {committed:.4f} ms (slack {slack:.4f}) — "
+                "bench JSON out of date"
+            )
+    return problems
+
+
+def _check_vp(vp_check: Dict[str, Any], tolerance: float) -> List[str]:
+    """The Table II winner claim: VP beats Ours on its dataset."""
+    dataset = vp_check["dataset"]
+    faster = vp_check.get("faster", "vp")
+    slower = vp_check.get("slower", "ours")
+    fresh = _measure(dataset, [slower, faster])
+    problems: List[str] = []
+    for name, pinned in dict(vp_check.get("variants", {})).items():
+        if name in fresh:
+            problems.extend(
+                _check_variant(name, fresh[name], pinned, tolerance, dataset)
+            )
+    if fresh[faster]["cycles"] >= fresh[slower]["cycles"]:
+        problems.append(
+            f"{dataset}: {faster} ({fresh[faster]['cycles']:.0f} cycles) "
+            f"no longer beats {slower} "
+            f"({fresh[slower]['cycles']:.0f}) — the paper's "
+            "latency-boundness claim shifted"
+        )
+    return problems
+
+
+def _write_baseline(
+    path: Path,
+    dataset: str,
+    tolerance: float,
+    fresh: Dict[str, Dict[str, Any]],
+    vp_check: Dict[str, Any] | None,
+) -> None:
+    record: Dict[str, Any] = {
+        "schema": BASELINE_SCHEMA,
+        "dataset": dataset,
+        "tolerance": tolerance,
+        "variants": {
+            name: {
+                "cycles": round(figures["cycles"], 1),
+                "bounds": figures["bounds"],
+            }
+            for name, figures in fresh.items()
+        },
+    }
+    if vp_check is not None:
+        vp_fresh = _measure(
+            vp_check["dataset"],
+            [vp_check.get("slower", "ours"), vp_check.get("faster", "vp")],
+        )
+        record["vp_check"] = {
+            "dataset": vp_check["dataset"],
+            "faster": vp_check.get("faster", "vp"),
+            "slower": vp_check.get("slower", "ours"),
+            "variants": {
+                name: {
+                    "cycles": round(figures["cycles"], 1),
+                    "bounds": figures["bounds"],
+                }
+                for name, figures in vp_fresh.items()
+            },
+        }
+    path.write_text(json.dumps(record, indent=1) + "\n", encoding="utf-8")
+    print(f"wrote baseline for {len(fresh)} variant(s) to {path}")
+
+
+def _append_trajectory(
+    path: Path,
+    dataset: str,
+    fresh: Dict[str, Dict[str, Any]],
+    problems: List[str],
+) -> None:
+    record = {"schema": TRAJECTORY_SCHEMA, "records": []}
+    if path.exists():
+        loaded = load_record(path)
+        if loaded.get("schema") == TRAJECTORY_SCHEMA and isinstance(
+            loaded.get("records"), list
+        ):
+            record = loaded
+    record["records"].append({
+        "date": date.today().isoformat(),
+        "dataset": dataset,
+        "cycles": {
+            name: round(figures["cycles"], 1)
+            for name, figures in fresh.items()
+        },
+        "ok": not problems,
+        "problems": len(problems),
+    })
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record, indent=1) + "\n", encoding="utf-8")
+
+
+def _write_artifacts(
+    args: argparse.Namespace, fresh: Dict[str, Dict[str, Any]]
+) -> None:
+    if args.report:
+        tables = "\n\n".join(
+            figures["report"].render() for figures in fresh.values()
+        )
+        path = Path(args.report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(tables + "\n", encoding="utf-8")
+        print(f"wrote speed-of-light report to {path}")
+    if args.flamegraph:
+        name = "ours" if "ours" in fresh else next(iter(fresh))
+        path = Path(args.flamegraph)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fresh[name]["report"].write_folded(path)
+        print(f"wrote {name} flamegraph stacks to {path}")
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", default=str(DEFAULT_BASELINE))
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="skip the cross-dataset vp-wins check (fast local runs)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from fresh measurements and exit",
+    )
+    parser.add_argument("--report", metavar="FILE", default=None)
+    parser.add_argument("--flamegraph", metavar="FILE", default=None)
+    parser.add_argument(
+        "--trajectory", metavar="FILE", default=str(DEFAULT_TRAJECTORY),
+    )
+    parser.add_argument("--no-trajectory", action="store_true")
+    args = parser.parse_args(argv)
+
+    baseline_path = Path(args.baseline)
+    baseline = load_record(baseline_path)
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        print(
+            f"error: {baseline_path}: schema must be {BASELINE_SCHEMA!r}, "
+            f"got {baseline.get('schema')!r}", file=sys.stderr,
+        )
+        return 2
+    dataset = baseline["dataset"]
+    tolerance = float(baseline.get("tolerance", 0.05))
+    pinned_variants: Dict[str, Any] = dict(baseline["variants"])
+
+    fresh = _measure(dataset, list(pinned_variants))
+    vp_check = baseline.get("vp_check")
+
+    if args.update:
+        _write_baseline(
+            baseline_path, dataset, tolerance, fresh,
+            None if args.quick else vp_check,
+        )
+        _write_artifacts(args, fresh)
+        return 0
+
+    problems: List[str] = []
+    for name, pinned in pinned_variants.items():
+        problems.extend(
+            _check_variant(name, fresh[name], pinned, tolerance, dataset)
+        )
+    problems.extend(_check_table2(dataset, fresh, tolerance))
+    if vp_check is not None and not args.quick:
+        problems.extend(_check_vp(dict(vp_check), tolerance))
+
+    _write_artifacts(args, fresh)
+    if not args.no_trajectory:
+        _append_trajectory(Path(args.trajectory), dataset, fresh, problems)
+
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    print(
+        f"perf regression vs {baseline_path.name} "
+        f"({len(pinned_variants)} variant(s) on {dataset}): "
+        f"{'FAIL (%d problem(s))' % len(problems) if problems else 'OK'}"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

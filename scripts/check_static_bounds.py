@@ -33,12 +33,19 @@ that shifts the pinned orderings, fails the build.  See
 
 from __future__ import annotations
 
-import json
 import sys
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parents[1]
-sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _bench_common import (  # noqa: E402
+    REPO_ROOT,
+    bootstrap,
+    cells_by_dataset,
+    load_record,
+)
+
+bootstrap()
 
 from repro.core.variants import VARIANTS  # noqa: E402
 from repro.gpusim.costmodel import CostModel  # noqa: E402
@@ -57,14 +64,6 @@ from repro.staticheck import (  # noqa: E402
 _ORDERING_CHAIN = ("ours", "bc", "ec")
 #: the one dataset where VP beats Ours (the paper's Table II footnote)
 _VP_WINS_ON = "trackers"
-
-
-def _cells(record: dict) -> dict[str, dict[str, str]]:
-    columns = record["columns"][1:]
-    return {
-        row["dataset"]: dict(zip(columns, row["cells"]))
-        for row in record["rows"]
-    }
 
 
 def _dataset_env(name: str, spec: DeviceSpec, cfg) -> dict[str, float]:
@@ -128,8 +127,7 @@ def check_static_ordering(spec: DeviceSpec) -> list[str]:
 def check_table2(path: Path, spec: DeviceSpec) -> list[str]:
     """Pin the committed ablation ordering and the run-total ceiling."""
     problems: list[str] = []
-    record = json.loads(path.read_text(encoding="utf-8"))
-    cells = _cells(record)
+    cells = cells_by_dataset(load_record(path))
     certs = certify_all()
     cost = CostModel()
     for dataset, row in cells.items():
@@ -178,8 +176,7 @@ def check_table2(path: Path, spec: DeviceSpec) -> list[str]:
 def check_table5(path: Path, spec: DeviceSpec) -> list[str]:
     """Pin the committed memory rows to the device-memory certificates."""
     problems: list[str] = []
-    record = json.loads(path.read_text(encoding="utf-8"))
-    cells = _cells(record)
+    cells = cells_by_dataset(load_record(path))
     certs = certify_all()
     mb = 1024.0 * 1024.0
     column_variant = {

@@ -15,13 +15,17 @@ The package provides:
   study;
 * ``repro.bench`` — the harness that regenerates the paper's tables;
 * ``repro.obs`` — the structured tracing / metrics layer
-  (``docs/OBSERVABILITY.md``).
+  (``docs/OBSERVABILITY.md``);
+* ``repro.profile`` — the kernel profiler: speed-of-light bound
+  attribution, per-round aggregation, and flamegraph export
+  (``docs/OBSERVABILITY.md``, "Profiling").
 """
 
 from repro.api import ALGORITHMS, algorithm_names, decompose
 from repro.core.decomposer import KCoreDecomposer
 from repro.graph.csr import CSRGraph
 from repro.obs import Tracer, start_tracing, stop_tracing, tracing
+from repro.profile import KernelProfiler, ProfileReport
 from repro.result import DecompositionResult
 
 __version__ = "1.0.0"
@@ -33,6 +37,8 @@ __all__ = [
     "KCoreDecomposer",
     "CSRGraph",
     "DecompositionResult",
+    "KernelProfiler",
+    "ProfileReport",
     "Tracer",
     "start_tracing",
     "stop_tracing",

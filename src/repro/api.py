@@ -30,6 +30,7 @@ from repro.systems.vetga import vetga_decompose
 
 __all__ = [
     "ALGORITHMS",
+    "PROFILABLE",
     "SANITIZABLE",
     "STATICHECKABLE",
     "algorithm_names",
@@ -121,6 +122,18 @@ SANITIZABLE: FrozenSet[str] = frozenset(
 #: baselines launch no SIMT kernels, and the multi-GPU runner composes
 #: per-device runs the checker does not yet model.
 STATICHECKABLE: FrozenSet[str] = frozenset(
+    f"gpu-{name}" for name in variant_names()
+)
+
+
+#: algorithms whose runner accepts ``profile=True`` (the kernel
+#: profiler's speed-of-light reports, :mod:`repro.profile`): the
+#: single-GPU peeling variants, which launch real SIMT kernels whose
+#: per-block timings the profiler attributes.  The system emulations
+#: charge logical time without SIMT launches, the CPU baselines model
+#: no device, and the multi-GPU runner composes per-device runs the
+#: profiler does not yet merge.
+PROFILABLE: FrozenSet[str] = frozenset(
     f"gpu-{name}" for name in variant_names()
 )
 

@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Mapping, Sequence
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SIBLING_SCHEMAS",
     "build_record",
     "validate_record",
     "validate_file",
@@ -41,6 +42,79 @@ __all__ = [
 ]
 
 SCHEMA_VERSION = "repro.bench/v1"
+
+#: the three speed-of-light bound classes a profile baseline may pin
+_BOUND_CLASSES = ("compute", "memory", "latency")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _validate_profile_baseline(record: Dict[str, Any]) -> List[str]:
+    """Structural check of a ``repro.profile-baseline/v1`` record.
+
+    The deep arithmetic checks live with the profiler
+    (:mod:`repro.profile.report`); here we only keep the committed
+    baseline well-formed enough for ``check_perf_regression.py``.
+    """
+    errors: List[str] = []
+    if not isinstance(record.get("dataset"), str) or not record["dataset"]:
+        errors.append("dataset must be a non-empty string")
+    tolerance = record.get("tolerance")
+    if not _is_number(tolerance) or not (0.0 < float(tolerance) <= 1.0):
+        errors.append(f"tolerance must be a number in (0, 1], got {tolerance!r}")
+    variants = record.get("variants")
+    if not isinstance(variants, dict) or not variants:
+        return errors + ["variants must be a non-empty object"]
+    for name, pinned in variants.items():
+        if not isinstance(pinned, dict):
+            errors.append(f"variants[{name}] must be an object")
+            continue
+        if not _is_number(pinned.get("cycles")) or pinned["cycles"] <= 0:
+            errors.append(f"variants[{name}].cycles must be a positive number")
+        bounds = pinned.get("bounds")
+        if not isinstance(bounds, dict):
+            errors.append(f"variants[{name}].bounds must be an object")
+            continue
+        for kernel, bound in bounds.items():
+            if bound not in _BOUND_CLASSES:
+                errors.append(
+                    f"variants[{name}].bounds[{kernel}] must be one of "
+                    f"{_BOUND_CLASSES}, got {bound!r}"
+                )
+    return errors
+
+
+def _validate_trajectory(record: Dict[str, Any]) -> List[str]:
+    """Structural check of a ``repro.bench-trajectory/v1`` record."""
+    errors: List[str] = []
+    entries = record.get("records")
+    if not isinstance(entries, list):
+        return ["records must be a list"]
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            errors.append(f"records[{i}] must be an object")
+            continue
+        for key in ("date", "dataset"):
+            if not isinstance(entry.get(key), str) or not entry.get(key):
+                errors.append(f"records[{i}].{key} must be a non-empty string")
+        cycles = entry.get("cycles")
+        if not isinstance(cycles, dict) or not all(
+            _is_number(v) for v in cycles.values()
+        ):
+            errors.append(f"records[{i}].cycles must map variants to numbers")
+        if not isinstance(entry.get("ok"), bool):
+            errors.append(f"records[{i}].ok must be a boolean")
+    return errors
+
+
+#: non-table records that may live next to the bench tables under
+#: ``benchmarks/results/``, with their structural validators
+SIBLING_SCHEMAS = {
+    "repro.profile-baseline/v1": _validate_profile_baseline,
+    "repro.bench-trajectory/v1": _validate_trajectory,
+}
 
 
 def build_record(
@@ -123,6 +197,9 @@ def validate_file(path: str | Path) -> List[str]:
         record = json.loads(path.read_text())
     except (OSError, ValueError) as exc:
         return [f"{path.name}: unreadable ({exc})"]
+    if isinstance(record, dict) and record.get("schema") in SIBLING_SCHEMAS:
+        sibling = SIBLING_SCHEMAS[record["schema"]]
+        return [f"{path.name}: {p}" for p in sibling(record)]
     problems = validate_record(record)
     if isinstance(record, dict) and record.get("name"):
         expected = f"{record['name']}.json"

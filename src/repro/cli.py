@@ -21,6 +21,15 @@ symbolic certificates of all eleven kernel variants.  Combined with a
 graph and a ``gpu-*`` algorithm it additionally runs the differential
 checker — every launch's measured stats are asserted against the
 certificate — and prints that report; error findings exit 1.
+
+``--ncu [FILE]`` profiles the run with the kernel profiler (see
+:mod:`repro.profile` and the "Profiling" section of
+``docs/OBSERVABILITY.md``) and prints an Nsight-Compute-style
+speed-of-light table — per-kernel bound classification, pipeline
+utilisation, occupancy and efficiency figures.  With a ``FILE``
+argument the full ``repro.profile/v1`` JSON report is written there
+too (a sibling ``FILE.folded`` gets the flamegraph stacks).  Only the
+single-GPU ``gpu-*`` peeling algorithms are profilable.
 """
 
 from __future__ import annotations
@@ -28,11 +37,18 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Sequence
+from pathlib import Path
+from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.api import SANITIZABLE, STATICHECKABLE, algorithm_names, decompose
+from repro.api import (
+    PROFILABLE,
+    SANITIZABLE,
+    STATICHECKABLE,
+    algorithm_names,
+    decompose,
+)
 from repro.graph import datasets
 from repro.graph.io import read_edgelist
 
@@ -92,6 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
              "the run and print its report; error findings exit 1",
     )
     parser.add_argument(
+        "--ncu", nargs="?", const="-", default=None, metavar="FILE",
+        help="profile the run (gpu-* algorithms only) and print the "
+             "speed-of-light table; with FILE, also write the "
+             "repro.profile/v1 JSON report there and the flamegraph "
+             "stacks to FILE.folded",
+    )
+    parser.add_argument(
         "--staticheck", action="store_true",
         help="print the static resource certificates of every kernel "
              "variant; with an input graph and a gpu-* algorithm, also "
@@ -122,6 +145,24 @@ def _summarise(args, graph, result) -> None:
         print(f"top {args.top} vertices by core number:")
         for v in order:
             print(f"  {int(v)}: core {int(result.core[v])}")
+
+
+def _write_file(path: str, write: Callable[[str], None], label: str) -> bool:
+    """Write an output artifact, creating parent directories.
+
+    Returns False (after a clear stderr message, no traceback) when the
+    path is unwritable.
+    """
+    try:
+        parent = Path(path).parent
+        if str(parent) not in ("", "."):
+            parent.mkdir(parents=True, exist_ok=True)
+        write(path)
+    except OSError as exc:
+        print(f"error: cannot write {label} to {path!r}: {exc}",
+              file=sys.stderr)
+        return False
+    return True
 
 
 def _print_certificates() -> int:
@@ -177,6 +218,11 @@ def main(argv: Sequence[str] | None = None) -> int:
               f"{', '.join(sorted(STATICHECKABLE))})",
               file=sys.stderr)
         return 2
+    if args.ncu is not None and args.algorithm not in PROFILABLE:
+        print(f"error: algorithm {args.algorithm!r} does not support "
+              f"--ncu (supported: {', '.join(sorted(PROFILABLE))})",
+              file=sys.stderr)
+        return 2
     if args.dataset:
         try:
             graph = datasets.load(args.dataset)
@@ -192,6 +238,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         run_kwargs["sanitize"] = True
     if args.staticheck:
         run_kwargs["staticheck"] = True
+    if args.ncu is not None:
+        run_kwargs["profile"] = True
     if args.profile:
         from repro.obs import start_tracing, stop_tracing
 
@@ -204,7 +252,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         wall_ms = (time.perf_counter() - wall_start) * 1000.0
         tracer.span(f"decompose {args.algorithm}", 0.0, wall_ms,
                     cat="cli", track="wall", args={"clock": "wall"})
-        tracer.write(args.profile)
+        if not _write_file(args.profile, tracer.write, "trace"):
+            return 1
         print(f"wrote trace ({len(tracer.events)} events, "
               f"{len(tracer.counters)} counters) to {args.profile}")
         if tracer.counters:
@@ -236,6 +285,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(report.summary(label="staticheck"))
         if report.errors:
             return 1
+    if args.ncu is not None:
+        profile = result.profile
+        if profile is None:
+            print("ncu: no profile produced", file=sys.stderr)
+            return 1
+        print(profile.render())
+        if args.ncu != "-":
+            if not _write_file(args.ncu, profile.write, "profile"):
+                return 1
+            folded = args.ncu + ".folded"
+            if not _write_file(folded, profile.write_folded, "flamegraph"):
+                return 1
+            print(f"wrote profile ({len(profile.launches)} launches) to "
+                  f"{args.ncu} and flamegraph stacks to {folded}")
     return 0
 
 

@@ -31,6 +31,13 @@ launch's measured stats are asserted against the variant's closed-form
 certificate and ``result.staticheck`` carries the differential
 checker's report; in ``fast`` mode (no kernels execute) it degrades to
 the purely static checks — certificate coverage and shared-memory fit.
+
+Pass ``profile=True`` to profile the run (see the "Profiling" section
+of ``docs/OBSERVABILITY.md``): in ``simulate`` mode every kernel launch
+gets a speed-of-light bound attribution and ``result.profile`` carries
+the :class:`~repro.profile.report.ProfileReport`; in ``fast`` mode
+there are no kernel launches to profile, so ``result.profile`` stays
+``None``.
 """
 
 from __future__ import annotations
@@ -73,6 +80,7 @@ class KCoreDecomposer:
         trace: bool = False,
         sanitize: bool = False,
         staticheck: bool = False,
+        profile: bool = False,
     ) -> None:
         if mode not in _MODES:
             raise ReproError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -84,6 +92,7 @@ class KCoreDecomposer:
         self.trace = trace
         self.sanitize = sanitize
         self.staticheck = staticheck
+        self.profile = profile
 
     def decompose(self, graph: CSRGraph) -> DecompositionResult:
         """Compute the core number of every vertex of ``graph``."""
@@ -142,6 +151,7 @@ class KCoreDecomposer:
             tracer=tracer,
             sanitize=self.sanitize,
             staticheck=self.staticheck,
+            profile=self.profile,
         )
 
     def core_numbers(self, graph: CSRGraph):

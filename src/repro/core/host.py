@@ -63,6 +63,12 @@ class GpuPeelOptions:
     #: ``result.staticheck`` (``docs/STATIC_ANALYSIS.md``); like
     #: ``sanitize``, costs host time only — simulated time is unchanged
     staticheck: bool = False
+    #: profile every launch (speed-of-light bound attribution, see
+    #: :mod:`repro.profile`) and attach the
+    #: :class:`~repro.profile.report.ProfileReport` to
+    #: ``result.profile``; observability-only — simulated time is
+    #: byte-identical with profiling on or off
+    profile: bool = False
 
 
 def gpu_peel(
@@ -75,6 +81,7 @@ def gpu_peel(
     tracer: Tracer | None = None,
     sanitize: bool | None = None,
     staticheck: bool | None = None,
+    profile: bool | None = None,
 ) -> DecompositionResult:
     """Run the paper's GPU peeling algorithm on the simulator.
 
@@ -102,6 +109,11 @@ def gpu_peel(
             differential checker's report lands on
             ``result.staticheck``.  Not available for ring-buffer
             variants, whose buffers have no static slot bound.
+        profile: collect a speed-of-light profile of every launch
+            (overrides ``options.profile`` when given); the
+            :class:`~repro.profile.report.ProfileReport` — per-launch
+            bound classification, per-kernel and per-round aggregation,
+            flamegraph export — lands on ``result.profile``.
 
     Returns:
         A :class:`DecompositionResult` whose ``simulated_ms`` /
@@ -116,6 +128,7 @@ def gpu_peel(
     cfg = chosen if isinstance(chosen, VariantConfig) else get_variant(chosen)
     want_sanitize = opts.sanitize if sanitize is None else sanitize
     want_staticheck = opts.staticheck if staticheck is None else staticheck
+    want_profile = opts.profile if profile is None else profile
     if want_staticheck and cfg.ring_buffer:
         raise ReproError(
             "staticheck is not available for ring-buffer variants: a "
@@ -132,6 +145,7 @@ def gpu_peel(
             seed=opts.seed,
             tracer=tracer,
             sanitize=want_sanitize,
+            profile=want_profile,
         )
     else:
         if tracer is not None:
@@ -140,6 +154,13 @@ def gpu_peel(
             from repro.sanitize.racecheck import KernelSanitizer
 
             device.sanitizer = KernelSanitizer()
+        if want_profile and device.profiler is None:
+            from repro.profile.profiler import KernelProfiler
+
+            device.profiler = KernelProfiler()
+    profiler = device.profiler
+    if profiler is not None:
+        profiler.annotate(variant=cfg.name, algorithm=f"gpu-{cfg.name}")
     spec = device.spec
     if cfg.prefetch and spec.warps_per_block < 2:
         raise ReproError(
@@ -165,6 +186,9 @@ def gpu_peel(
                 if device.sanitizer is not None else None
             ),
             staticheck=checker.report if checker is not None else None,
+            profile=(
+                profiler.report() if profiler is not None else None
+            ),
         )
 
     grid_dim = spec.default_grid_dim
@@ -204,6 +228,8 @@ def gpu_peel(
             tr.begin(f"round k={k}", device.elapsed_ms, cat="round")
             if tr is not None else None
         )
+        if profiler is not None:
+            profiler.set_round(k)
         stats = device.launch(
             scan_kernel, args=(k, deg_d, buf_d, tails_d, n, capacity, cfg)
         )  # Line 6
@@ -234,6 +260,8 @@ def gpu_peel(
         count = new_count
         k += 1  # Line 9
 
+    if profiler is not None:
+        profiler.set_round(None)
     core = device.read_back(deg_d)  # Line 10
     effective_capacity = capacity + shared_capacity
     counters = {
@@ -278,4 +306,5 @@ def gpu_peel(
             device.sanitizer.report if device.sanitizer is not None else None
         ),
         staticheck=checker.report if checker is not None else None,
+        profile=profiler.report() if profiler is not None else None,
     )

@@ -180,6 +180,20 @@ class WarpContext:
         segments = np.unique(idx // _WORDS_PER_TRANSACTION)
         return int(segments.size)
 
+    def _note_global_access(self, idx_arr: np.ndarray) -> None:
+        """Tally one global-memory warp access into the block's timing.
+
+        ``mem_transactions`` feeds the cost model; the remaining fields
+        are observability-only (profiler divergence / coalescing
+        efficiency) and never influence simulated time.
+        """
+        timing = self.block.timing
+        timing.mem_transactions += self._count_transactions(idx_arr)
+        n = int(idx_arr.size)
+        timing.mem_accesses += max(1, -(-n // self.spec.warp_size))
+        timing.mem_active_lanes += n
+        timing.mem_ideal_transactions += -(-n // _WORDS_PER_TRANSACTION)
+
     # -- global memory -------------------------------------------------------
 
     def gload(
@@ -197,7 +211,7 @@ class WarpContext:
         mon = self._monitor
         if mon is not None:
             mon.global_access(self, "read", array, idx_arr)
-        self.block.timing.mem_transactions += self._count_transactions(idx_arr)
+        self._note_global_access(idx_arr)
         self.charge(1)
         if dependent:
             self.path += self.cost.global_load_latency
@@ -212,7 +226,7 @@ class WarpContext:
         mon = self._monitor
         if mon is not None:
             mon.global_access(self, "write", array, idx_arr)
-        self.block.timing.mem_transactions += self._count_transactions(idx_arr)
+        self._note_global_access(idx_arr)
         self.charge(1)
         array.data[idx_arr] = values
 
@@ -233,7 +247,7 @@ class WarpContext:
         mon = self._monitor
         if mon is not None:
             mon.global_access(self, "atomic", array, idx_arr)
-        self.block.timing.mem_transactions += self._count_transactions(idx_arr)
+        self._note_global_access(idx_arr)
         order = np.argsort(idx_arr, kind="stable")
         sorted_idx = idx_arr[order]
         boundaries = np.empty(n, dtype=bool)
@@ -250,10 +264,12 @@ class WarpContext:
         conflicts = n - distinct
         self.block.timing.atomic_conflicts += conflicts
         self.issued += 1
-        self.path += (
+        atomic_cycles = (
             self.cost.global_atomic_base
             + self.cost.global_atomic_conflict * conflicts
         )
+        self.path += atomic_cycles
+        self.block.timing.atomic_cycles += atomic_cycles
         return int(old[0]) if scalar else old
 
     # -- shared memory ---------------------------------------------------------
@@ -294,10 +310,12 @@ class WarpContext:
         self.block.scalars[name] = old + int(amount)
         self.block.timing.atomic_conflicts += max(0, lanes - 1)
         self.issued += 1
-        self.path += (
+        atomic_cycles = (
             self.cost.shared_atomic_base
             + self.cost.shared_atomic_conflict * max(0, lanes - 1)
         )
+        self.path += atomic_cycles
+        self.block.timing.atomic_cycles += atomic_cycles
         return old
 
     def smem_array(self, name: str, size: int) -> np.ndarray:

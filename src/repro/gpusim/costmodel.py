@@ -77,10 +77,23 @@ class CostModel:
 
     def block_cycles(self, timing: "BlockTiming") -> float:
         """Roofline combination of one block's pipeline occupancies."""
+        compute, memory, path = self.pipeline_terms(timing)
+        return max(compute, memory, path) + timing.barriers * self.barrier_cycles
+
+    def pipeline_terms(
+        self, timing: "BlockTiming"
+    ) -> "tuple[float, float, float]":
+        """The three roofline occupancies of one block, in cycles.
+
+        Returns ``(compute, memory, latency)`` — the very terms
+        :meth:`block_cycles` max-combines.  The profiler
+        (:mod:`repro.profile`) reads these to attribute each launch to
+        the pipeline that bounded it, so keep any change here and in
+        :meth:`block_cycles` in lockstep.
+        """
         compute = timing.issued / self.issue_width
         memory = timing.mem_transactions * self.mem_transaction_cycles
-        path = timing.max_warp_path
-        return max(compute, memory, path) + timing.barriers * self.barrier_cycles
+        return compute, memory, timing.max_warp_path
 
     def kernel_cycles(
         self, block_timings: Sequence["BlockTiming"], num_sms: int
@@ -121,3 +134,19 @@ class BlockTiming:
     #: high-water mark of the block's vertex-buffer fill, in logical
     #: buffer positions (metric only; tracked by ``BlockBufferView``)
     buffer_peak: float = 0.0
+    #: serialisation cycles all warps of the block spent inside atomics
+    #: (base + conflict cycles; already part of each warp's path —
+    #: metric only, never added to time again)
+    atomic_cycles: float = 0.0
+    #: global-memory warp-instructions (loads + stores + atomics) the
+    #: block issued (metric only; feeds divergence efficiency)
+    mem_accesses: float = 0.0
+    #: lanes that actively participated in those accesses, summed
+    #: (metric only; ``mem_active_lanes / (mem_accesses * 32)`` is the
+    #: profiler's divergence efficiency)
+    mem_active_lanes: float = 0.0
+    #: the transactions a perfectly coalesced layout would have needed
+    #: for the same accesses (metric only;
+    #: ``mem_ideal_transactions / mem_transactions`` is the profiler's
+    #: coalescing efficiency)
+    mem_ideal_transactions: float = 0.0

@@ -51,6 +51,22 @@ run's simulated time is identical to an unsanitized one.  A shared
 :class:`KernelSanitizer` instance may instead be passed via
 ``sanitizer=`` so several devices (multi-GPU peeling) fold their
 findings into one report, available as ``device.sanitizer.report``.
+
+Profiling
+---------
+
+``Device(profile=True)`` attaches a
+:class:`~repro.profile.profiler.KernelProfiler`; every :meth:`launch`
+then runs with ``collect_timings=True`` (the per-block
+:class:`~repro.gpusim.costmodel.BlockTiming` records ride along on the
+returned stats) and is folded into a speed-of-light
+:class:`~repro.profile.profiler.LaunchProfile` — see
+:mod:`repro.profile` and the "Profiling" section of
+``docs/OBSERVABILITY.md``.  Like the tracer and sanitizer, the
+profiler is observability-only: simulated time is byte-identical with
+it on or off.  A shared :class:`KernelProfiler` may instead be passed
+via ``profiler=`` (the explicit instance wins over the bool) so a host
+program can annotate rounds and pull the final report.
 """
 
 from __future__ import annotations
@@ -68,6 +84,7 @@ from repro.obs.tracer import active_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.tracer import Tracer
+    from repro.profile.profiler import KernelProfiler
     from repro.sanitize.racecheck import KernelSanitizer
 
 __all__ = ["Device"]
@@ -86,6 +103,8 @@ class Device:
         tracer: "Tracer | None" = None,
         sanitize: bool = False,
         sanitizer: "KernelSanitizer | None" = None,
+        profile: bool = False,
+        profiler: "KernelProfiler | None" = None,
     ) -> None:
         self.spec = spec or DeviceSpec()
         self.spec.validate()
@@ -111,6 +130,14 @@ class Device:
 
             sanitizer = KernelSanitizer()
         self.sanitizer = sanitizer
+        #: the attached kernel profiler, or ``None`` (profiling off);
+        #: an explicit instance wins over the ``profile`` switch so the
+        #: host can annotate rounds and collect the report
+        if profiler is None and profile:
+            from repro.profile.profiler import KernelProfiler
+
+            profiler = KernelProfiler()
+        self.profiler = profiler
 
     # -- memory -------------------------------------------------------------
 
@@ -172,6 +199,7 @@ class Device:
             if san is not None
             else None
         )
+        prof = self.profiler
         stats = run_kernel(
             kernel_fn,
             self.spec,
@@ -183,9 +211,15 @@ class Device:
             preempt_prob=self.preempt_prob,
             seed=self._seed + self.kernel_launches,
             monitor=monitor,
+            collect_timings=prof is not None,
         )
         if san is not None:
             san.end_launch(monitor)
+        if prof is not None:
+            prof.record_launch(
+                getattr(kernel_fn, "__name__", "kernel"), stats,
+                grid, block, self.spec, self.cost_model,
+            )
         self.kernel_launches += 1
         self.total_cycles += stats.cycles
         self.launch_log.append(stats)

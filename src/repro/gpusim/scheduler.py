@@ -51,7 +51,14 @@ class KernelStats:
     ``atomic_conflicts`` and ``buffer_peak`` are observability-only
     tallies (see :class:`~repro.gpusim.costmodel.BlockTiming`):
     conflicts sum over all blocks, ``buffer_peak`` is the fullest
-    single block buffer in logical positions.
+    single block buffer in logical positions.  The ``atomic_cycles`` /
+    ``mem_*`` fields are likewise metric-only block-timing sums that
+    feed the profiler's efficiency figures (:mod:`repro.profile`).
+
+    ``block_timings`` carries the raw per-block
+    :class:`~repro.gpusim.costmodel.BlockTiming` records when the
+    launch ran with ``collect_timings=True`` (a profiler was attached);
+    it is ``None`` otherwise and never influences simulated time.
     """
 
     cycles: float
@@ -61,6 +68,11 @@ class KernelStats:
     max_warp_path: float
     atomic_conflicts: float = 0.0
     buffer_peak: float = 0.0
+    atomic_cycles: float = 0.0
+    mem_accesses: float = 0.0
+    mem_active_lanes: float = 0.0
+    mem_ideal_transactions: float = 0.0
+    block_timings: "tuple[BlockTiming, ...] | None" = None
 
     def milliseconds(self, cost: CostModel) -> float:
         """Kernel duration in simulated milliseconds (device time only)."""
@@ -85,6 +97,7 @@ def run_kernel(
     preempt_prob: float = 0.0,
     seed: int = 0,
     monitor: "LaunchMonitor | None" = None,
+    collect_timings: bool = False,
 ) -> KernelStats:
     """Execute ``kernel_fn`` over a ``grid_dim x block_dim`` launch.
 
@@ -97,6 +110,12 @@ def run_kernel(
     context, and the scheduler reports each warp's barrier arrivals
     and its exit so the sanitizer can diagnose barrier divergence.
     Monitoring never changes costs or scheduling.
+
+    ``collect_timings=True`` attaches the per-block
+    :class:`~repro.gpusim.costmodel.BlockTiming` records to the
+    returned stats (``stats.block_timings``) for the profiler; the
+    records are produced either way, so collection never perturbs the
+    run.
     """
     if block_dim % spec.warp_size:
         raise ValueError("block_dim must be a multiple of the warp size")
@@ -166,4 +185,11 @@ def run_kernel(
         max_warp_path=max(t.max_warp_path for t in timings) if timings else 0.0,
         atomic_conflicts=sum(t.atomic_conflicts for t in timings),
         buffer_peak=max(t.buffer_peak for t in timings) if timings else 0.0,
+        atomic_cycles=sum(t.atomic_cycles for t in timings),
+        mem_accesses=sum(t.mem_accesses for t in timings),
+        mem_active_lanes=sum(t.mem_active_lanes for t in timings),
+        mem_ideal_transactions=sum(
+            t.mem_ideal_transactions for t in timings
+        ),
+        block_timings=tuple(timings) if collect_timings else None,
     )

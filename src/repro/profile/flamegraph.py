@@ -1,0 +1,64 @@
+"""Folded-stack (flamegraph) export of a profile report.
+
+Emits the classic ``stack;frames count`` format consumed by
+``flamegraph.pl``, speedscope, and most flamegraph viewers: one line
+per stack, frames separated by ``;``, a space, then the sample weight.
+The stack here is *attribution*, not call depth::
+
+    gpu-bc;scan_blocks;round k=4;compute 1234
+
+i.e. algorithm ▸ kernel ▸ peel round ▸ bounding pipeline, weighted by
+the simulated cycles that pipeline bounded (the launch's ``dominated``
+buckets, plus a ``barrier`` frame).  Widths therefore reproduce the
+speed-of-light partition exactly: every launch's frames sum to its
+busy cycles, and the root width is the run's total busy time.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.profile.report import ProfileReport
+
+__all__ = ["to_folded", "write_folded"]
+
+
+def _frame(text: str) -> str:
+    """Sanitise one frame: the format reserves ``;`` and newlines."""
+    return text.replace(";", ",").replace("\n", " ").strip() or "?"
+
+
+def to_folded(report: "ProfileReport") -> str:
+    """Render ``report`` as folded stacks (one string, newline-joined).
+
+    Weights are simulated cycles rounded to integers (the folded format
+    expects integral sample counts); zero-weight frames are dropped.
+    """
+    root = _frame(report.algorithm or "run")
+    if report.variant and report.variant not in (report.algorithm or ""):
+        root = f"{root}({_frame(report.variant)})"
+    stacks: Dict[str, float] = {}
+    for launch in report.launches:
+        base = [root, _frame(launch.kernel)]
+        if launch.round_index is not None:
+            base.append(f"round k={launch.round_index}")
+        for pipeline, cycles in launch.dominated.items():
+            if cycles > 0:
+                key = ";".join(base + [_frame(pipeline)])
+                stacks[key] = stacks.get(key, 0.0) + cycles
+        if launch.barrier_cycles > 0:
+            key = ";".join(base + ["barrier"])
+            stacks[key] = stacks.get(key, 0.0) + launch.barrier_cycles
+    lines: List[str] = []
+    for key, weight in stacks.items():
+        count = round(weight)
+        if count > 0:
+            lines.append(f"{key} {count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_folded(report: "ProfileReport", path: "str | Path") -> None:
+    """Write :func:`to_folded` output to ``path``."""
+    Path(path).write_text(to_folded(report), encoding="utf-8")

@@ -1,0 +1,401 @@
+"""Profile aggregation, the ``repro.profile/v1`` schema, and rendering.
+
+A :class:`ProfileReport` wraps the per-launch
+:class:`~repro.profile.profiler.LaunchProfile` records of one run and
+derives the two aggregations the paper's ablation discussion needs:
+
+* **per kernel** — total cycles, bound class and efficiency figures per
+  kernel function (the Table II argument is a per-kernel statement:
+  the compaction variants pay extra *scan/loop instructions* while the
+  frontier work stays memory-bound);
+* **per round** — the same figures per peel round, which is how the
+  frontier-decay regimes (the huge ``k=0`` spike vs the long tail)
+  show up as bound-class shifts over a run.
+
+``to_json()`` emits the ``repro.profile/v1`` record;
+:func:`validate_profile` checks a parsed record against the schema
+*and* its arithmetic invariants (the dominated buckets plus barrier
+cycles partition busy cycles; the max roofline term never exceeds
+busy-minus-barrier, the term sum never undershoots it), so a report
+whose numbers stopped agreeing with
+:meth:`~repro.gpusim.costmodel.CostModel.block_cycles` fails
+validation rather than silently misattributing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.profile.profiler import PIPELINES, LaunchProfile
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "AggregateProfile",
+    "ProfileReport",
+    "validate_profile",
+    "validate_profile_file",
+]
+
+SCHEMA_VERSION = "repro.profile/v1"
+
+#: relative slack for the float-sum invariants of the validator
+_REL_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class AggregateProfile:
+    """Launch profiles folded over one key (kernel, round, or the run)."""
+
+    key: str
+    launches: int
+    cycles: float
+    busy_cycles: float
+    compute_cycles: float
+    memory_cycles: float
+    latency_cycles: float
+    barrier_cycles: float
+    bound: str
+    dominated: Dict[str, float]
+    achieved_occupancy: float
+    divergence_efficiency: float
+    coalescing_efficiency: float
+    atomic_share: float
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "launches": self.launches,
+            "cycles": self.cycles,
+            "busy_cycles": self.busy_cycles,
+            "terms": {
+                "compute": self.compute_cycles,
+                "memory": self.memory_cycles,
+                "latency": self.latency_cycles,
+                "barrier": self.barrier_cycles,
+            },
+            "bound": self.bound,
+            "dominated": dict(self.dominated),
+            "achieved_occupancy": self.achieved_occupancy,
+            "divergence_efficiency": self.divergence_efficiency,
+            "coalescing_efficiency": self.coalescing_efficiency,
+            "atomic_share": self.atomic_share,
+        }
+
+
+def _aggregate(key: str, launches: Sequence[LaunchProfile]) -> AggregateProfile:
+    busy = sum(p.busy_cycles for p in launches)
+    dominated = {name: 0.0 for name in PIPELINES}
+    for p in launches:
+        for name, value in p.dominated.items():
+            dominated[name] = dominated.get(name, 0.0) + value
+    mem_accesses = sum(p.mem_accesses for p in launches)
+    mem_tx = sum(p.mem_transactions for p in launches)
+    occupancy = (
+        sum(p.achieved_occupancy * p.busy_cycles for p in launches) / busy
+        if busy
+        else 0.0
+    )
+    # efficiencies recompute from the raw tallies, not from averaging
+    # per-launch ratios, so tiny launches cannot skew them
+    lanes = sum(p.mem_active_lanes for p in launches)
+    ideal = sum(p.mem_ideal_transactions for p in launches)
+    warp = 32.0
+    return AggregateProfile(
+        key=key,
+        launches=len(launches),
+        cycles=sum(p.cycles for p in launches),
+        busy_cycles=busy,
+        compute_cycles=sum(p.compute_cycles for p in launches),
+        memory_cycles=sum(p.memory_cycles for p in launches),
+        latency_cycles=sum(p.latency_cycles for p in launches),
+        barrier_cycles=sum(p.barrier_cycles for p in launches),
+        bound=max(PIPELINES, key=lambda n: dominated[n]),
+        dominated=dominated,
+        achieved_occupancy=occupancy,
+        divergence_efficiency=lanes / (mem_accesses * warp)
+        if mem_accesses
+        else 1.0,
+        coalescing_efficiency=ideal / mem_tx if mem_tx else 1.0,
+        atomic_share=sum(p.atomic_cycles for p in launches) / busy
+        if busy
+        else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """The full profile of one run; see the module docstring."""
+
+    algorithm: Optional[str]
+    variant: Optional[str]
+    dataset: Optional[str]
+    device: Dict[str, Any]
+    launches: Tuple[LaunchProfile, ...]
+
+    # -- aggregations --------------------------------------------------------
+
+    def kernels(self) -> Dict[str, AggregateProfile]:
+        """Aggregate per kernel function, in first-launch order."""
+        by_kernel: Dict[str, List[LaunchProfile]] = {}
+        for p in self.launches:
+            by_kernel.setdefault(p.kernel, []).append(p)
+        return {
+            name: _aggregate(name, group)
+            for name, group in by_kernel.items()
+        }
+
+    def rounds(self) -> List[AggregateProfile]:
+        """Aggregate per annotated peel round, in round order."""
+        by_round: Dict[int, List[LaunchProfile]] = {}
+        for p in self.launches:
+            if p.round_index is not None:
+                by_round.setdefault(p.round_index, []).append(p)
+        return [
+            _aggregate(f"round k={k}", by_round[k])
+            for k in sorted(by_round)
+        ]
+
+    def summary(self) -> AggregateProfile:
+        """Whole-run aggregate."""
+        return _aggregate("total", self.launches)
+
+    @property
+    def bound(self) -> str:
+        """The run-level bound class (of :meth:`summary`)."""
+        return self.summary().bound
+
+    # -- export --------------------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        """The ``repro.profile/v1`` record."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "algorithm": self.algorithm,
+            "variant": self.variant,
+            "dataset": self.dataset,
+            "device": dict(self.device),
+            "launches": [p.to_json() for p in self.launches],
+            "kernels": {
+                name: agg.to_json() for name, agg in self.kernels().items()
+            },
+            "rounds": [agg.to_json() for agg in self.rounds()],
+            "summary": self.summary().to_json(),
+        }
+
+    def write(self, path: "str | Path") -> None:
+        """Serialise :meth:`to_json` to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=1)
+
+    def to_folded(self) -> str:
+        """Folded-stack export; see :mod:`repro.profile.flamegraph`."""
+        from repro.profile.flamegraph import to_folded
+
+        return to_folded(self)
+
+    def write_folded(self, path: "str | Path") -> None:
+        from repro.profile.flamegraph import write_folded
+
+        write_folded(self, path)
+
+    # -- human-readable table ------------------------------------------------
+
+    def render(self) -> str:
+        """The ``--ncu`` console report: a speed-of-light table."""
+        label = self.algorithm or "run"
+        if self.dataset:
+            label += f" on {self.dataset}"
+        device = self.device.get("name", "device")
+        lines = [
+            f"Speed-of-Light: {label} ({device})",
+            "=" * max(24, len(label) + len(str(device)) + 20),
+        ]
+        header = (
+            f"{'kernel':<16} {'launches':>8} {'cycles':>12} {'bound':>8} "
+            f"{'comp%':>6} {'mem%':>6} {'lat%':>6} {'barr%':>6} "
+            f"{'occ':>5} {'dvrg':>5} {'coal':>5} {'atom':>5}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+
+        def row(agg: AggregateProfile) -> str:
+            busy = agg.busy_cycles or 1.0
+            return (
+                f"{agg.key:<16} {agg.launches:>8} {agg.cycles:>12.0f} "
+                f"{agg.bound:>8} "
+                f"{100 * agg.compute_cycles / busy:>6.1f} "
+                f"{100 * agg.memory_cycles / busy:>6.1f} "
+                f"{100 * agg.latency_cycles / busy:>6.1f} "
+                f"{100 * agg.barrier_cycles / busy:>6.1f} "
+                f"{agg.achieved_occupancy:>5.2f} "
+                f"{agg.divergence_efficiency:>5.2f} "
+                f"{agg.coalescing_efficiency:>5.2f} "
+                f"{agg.atomic_share:>5.2f}"
+            )
+
+        for agg in self.kernels().values():
+            lines.append(row(agg))
+        lines.append("-" * len(header))
+        lines.append(row(self.summary()))
+        rounds = self.rounds()
+        if rounds:
+            heaviest = sorted(
+                rounds, key=lambda a: a.cycles, reverse=True
+            )[:5]
+            lines.append("")
+            lines.append("heaviest rounds:")
+            for agg in heaviest:
+                lines.append(f"  {row(agg)}")
+        return "\n".join(lines)
+
+
+# -- validation ---------------------------------------------------------------
+
+
+def _check_entry(
+    entry: Any, where: str, errors: List[str], want_kernel: bool
+) -> None:
+    if not isinstance(entry, dict):
+        errors.append(f"{where}: not an object")
+        return
+    key = "kernel" if want_kernel else "key"
+    if not isinstance(entry.get(key), str) or not entry.get(key):
+        errors.append(f"{where}: missing or empty {key!r}")
+    for name in ("cycles", "busy_cycles"):
+        value = entry.get(name)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"{where}: {name!r} must be a number")
+            return
+        if value < 0:
+            errors.append(f"{where}: negative {name!r} ({value})")
+    terms = entry.get("terms")
+    if not isinstance(terms, dict) or set(terms) != {
+        "compute", "memory", "latency", "barrier",
+    }:
+        errors.append(
+            f"{where}: 'terms' must map exactly "
+            "compute/memory/latency/barrier"
+        )
+        return
+    for name, value in terms.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"{where}: terms.{name} must be a number")
+            return
+    bound = entry.get("bound")
+    if bound not in PIPELINES:
+        errors.append(
+            f"{where}: 'bound' must be one of {PIPELINES}, got {bound!r}"
+        )
+    dominated = entry.get("dominated")
+    if not isinstance(dominated, dict):
+        errors.append(f"{where}: 'dominated' must be an object")
+        return
+    busy = float(entry["busy_cycles"])
+    tol = _REL_TOL * max(1.0, busy)
+    # invariant 1: dominated buckets + barrier partition busy cycles
+    parts = sum(float(v) for v in dominated.values()) + float(
+        terms["barrier"]
+    )
+    if abs(parts - busy) > tol:
+        errors.append(
+            f"{where}: dominated buckets + barrier ({parts:g}) do not "
+            f"partition busy_cycles ({busy:g})"
+        )
+    # invariant 2: roofline bracketing of the busy time
+    roof = busy - float(terms["barrier"])
+    biggest = max(
+        float(terms["compute"]), float(terms["memory"]),
+        float(terms["latency"]),
+    )
+    total = (
+        float(terms["compute"]) + float(terms["memory"])
+        + float(terms["latency"])
+    )
+    if biggest - roof > tol:
+        errors.append(
+            f"{where}: max pipeline term ({biggest:g}) exceeds busy "
+            f"minus barrier ({roof:g})"
+        )
+    if roof - total > tol:
+        errors.append(
+            f"{where}: busy minus barrier ({roof:g}) exceeds the term "
+            f"sum ({total:g})"
+        )
+    # invariant 3: the declared bound is the largest dominated bucket
+    if bound in PIPELINES and dominated:
+        best = max(float(v) for v in dominated.values())
+        if float(dominated.get(bound, 0.0)) < best - tol:
+            errors.append(
+                f"{where}: bound {bound!r} is not the largest "
+                "dominated bucket"
+            )
+    for name in (
+        "achieved_occupancy", "divergence_efficiency",
+        "coalescing_efficiency",
+    ):
+        value = entry.get(name)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"{where}: {name!r} must be a number")
+        elif not (0.0 <= float(value) <= 1.0 + _REL_TOL):
+            errors.append(f"{where}: {name!r} out of [0, 1] ({value})")
+    # atomic_share may exceed 1: atomic cycles sum over every warp,
+    # while busy time only counts each block's slowest warp
+    atomic = entry.get("atomic_share")
+    if not isinstance(atomic, (int, float)) or isinstance(atomic, bool):
+        errors.append(f"{where}: 'atomic_share' must be a number")
+    elif float(atomic) < 0.0:
+        errors.append(f"{where}: negative 'atomic_share' ({atomic})")
+
+
+def validate_profile(record: Any) -> List[str]:
+    """Check a parsed ``repro.profile/v1`` record; return problems."""
+    errors: List[str] = []
+    if not isinstance(record, dict):
+        return [f"record must be an object, got {type(record).__name__}"]
+    if record.get("schema") != SCHEMA_VERSION:
+        errors.append(
+            f"schema must be {SCHEMA_VERSION!r}, got {record.get('schema')!r}"
+        )
+    launches = record.get("launches")
+    if not isinstance(launches, list):
+        return errors + ["'launches' must be a list"]
+    for i, entry in enumerate(launches):
+        _check_entry(entry, f"launches[{i}]", errors, want_kernel=True)
+    kernels = record.get("kernels")
+    if not isinstance(kernels, dict):
+        errors.append("'kernels' must be an object")
+    else:
+        for name, entry in kernels.items():
+            _check_entry(entry, f"kernels[{name}]", errors, want_kernel=False)
+    rounds = record.get("rounds")
+    if not isinstance(rounds, list):
+        errors.append("'rounds' must be a list")
+    else:
+        for i, entry in enumerate(rounds):
+            _check_entry(entry, f"rounds[{i}]", errors, want_kernel=False)
+    summary = record.get("summary")
+    if summary is None:
+        errors.append("missing 'summary'")
+    else:
+        _check_entry(summary, "summary", errors, want_kernel=False)
+        if isinstance(summary, dict) and isinstance(launches, list):
+            declared = summary.get("launches")
+            if declared != len(launches):
+                errors.append(
+                    f"summary.launches ({declared}) != "
+                    f"len(launches) ({len(launches)})"
+                )
+    return errors
+
+
+def validate_profile_file(path: "str | Path") -> List[str]:
+    """Validate one exported profile JSON file."""
+    path = Path(path)
+    try:
+        record = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"{path.name}: unreadable ({exc})"]
+    return [f"{path.name}: {p}" for p in validate_profile(record)]

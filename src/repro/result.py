@@ -56,6 +56,15 @@ class DecompositionResult:
             ``static-bound`` / ``static-resource`` /
             ``uncertified-kernel`` detectors; see
             ``docs/STATIC_ANALYSIS.md``.
+        profile: the :class:`~repro.profile.report.ProfileReport` of the
+            run when profiling was enabled (``gpu_peel(...,
+            profile=True)``, ``KCoreDecomposer(profile=True)`` or CLI
+            ``--ncu``), else ``None``.  ``result.profile.render()``
+            prints the speed-of-light table,
+            ``result.profile.to_json()`` emits the
+            ``repro.profile/v1`` record, and
+            ``result.profile.write_folded(path)`` exports a flamegraph;
+            see the "Profiling" section of ``docs/OBSERVABILITY.md``.
     """
 
     core: np.ndarray
@@ -68,6 +77,7 @@ class DecompositionResult:
     trace: Any = None
     sanitizer: Any = None
     staticheck: Any = None
+    profile: Any = None
 
     def __post_init__(self) -> None:
         core = np.asarray(self.core, dtype=np.int64)

@@ -61,6 +61,37 @@ def test_flat_counter_folding():
     assert tr.counters == {"n": 5.0, "p": 5.0, "v": 9.0}
 
 
+def test_peak_keeps_maximum_put_keeps_last():
+    tr = Tracer()
+    tr.peak("p", -2.0)
+    assert tr.counters["p"] == -2.0  # first value always lands
+    tr.peak("p", -5.0)
+    assert tr.counters["p"] == -2.0  # lower values never regress it
+    tr.peak("p", 1.5)
+    assert tr.counters["p"] == 1.5
+    tr.put("p", 0.0)  # put overwrites unconditionally, even downward
+    assert tr.counters["p"] == 0.0
+    tr.peak("p", -1.0)  # ...and peak resumes from the new floor
+    assert tr.counters["p"] == 0.0
+
+
+def test_open_spans_counts_per_track():
+    tr = Tracer()
+    h1 = tr.begin("outer", 0.0, track="host")
+    tr.begin("inner", 1.0, track="host")
+    d1 = tr.begin("kernel", 0.5, track="device")
+    assert tr.open_spans() == 3
+    assert tr.open_spans("host") == 2
+    assert tr.open_spans("device") == 1
+    assert tr.open_spans("nope") == 0
+    tr.end(d1, 1.0)
+    assert tr.open_spans("device") == 0
+    assert tr.open_spans("host") == 2
+    with pytest.raises(ValueError, match="innermost"):
+        tr.end(h1, 2.0)  # outer is not innermost on its track
+    assert tr.open_spans("host") == 2  # failed end leaves the stack alone
+
+
 def test_activation_scoping():
     assert active_tracer() is None
     with tracing() as tr:
@@ -100,6 +131,43 @@ def test_validator_catches_malformed_traces():
         {"name": "a", "ph": "X", "ts": 0, "pid": 1, "tid": 1}
     ]}
     assert any("dur" in e for e in validate_chrome_trace(bad_dur))
+
+
+def test_empty_tracer_exports_a_valid_trace(tmp_path):
+    tr = Tracer()
+    trace = tr.to_chrome_trace()
+    assert validate_chrome_trace(trace) == []
+    # only "M" metadata rows (process/thread names), no real events
+    assert all(e["ph"] == "M" for e in trace["traceEvents"])
+    path = tmp_path / "empty.json"
+    tr.write(path)
+    assert validate_chrome_trace(json.loads(path.read_text())) == []
+
+
+def test_counter_only_trace_validates():
+    tr = Tracer()
+    tr.add("device.cycles", 10.0)
+    tr.peak("buffer.peak_fill", 3.0)
+    tr.sample("frontier", 0.5, 7.0)
+    trace = tr.to_chrome_trace()
+    assert validate_chrome_trace(trace) == []
+    assert tr.span_names() == []
+    counted = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+    assert len(counted) == 1  # the sample; flat counters go to otherData
+    assert trace["otherData"]["counters"] == {
+        "device.cycles": 10.0, "buffer.peak_fill": 3.0,
+    }
+
+
+def test_unclosed_begin_span_stays_open_and_trace_validates():
+    tr = Tracer()
+    tr.begin("round k=0", 0.0)
+    tr.span("kernel", 0.0, 1.0, track="device")
+    assert tr.open_spans() == 1
+    # an unclosed begin() emits no event, so the export stays valid
+    trace = tr.to_chrome_trace()
+    assert validate_chrome_trace(trace) == []
+    assert tr.span_names() == ["kernel"]
 
 
 # -- end-to-end through the decomposer ---------------------------------------

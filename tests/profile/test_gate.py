@@ -1,0 +1,115 @@
+"""CI-gate tests: scripts/check_perf_regression.py passes on the
+committed baseline and demonstrably fails on doctored budgets."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+RESULTS = REPO_ROOT / "benchmarks" / "results"
+BASELINE = RESULTS / "profile_baseline.json"
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_perf_regression",
+        REPO_ROOT / "scripts" / "check_perf_regression.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _doctor(tmp_path, mutate, only=("ours",)):
+    """A doctored baseline restricted to ``only`` (keeps tests fast)."""
+    record = json.loads(BASELINE.read_text())
+    record["variants"] = {
+        name: record["variants"][name] for name in only
+    }
+    record.pop("vp_check", None)
+    mutate(record)
+    path = tmp_path / "profile_baseline.json"
+    path.write_text(json.dumps(record))
+    return str(path)
+
+
+def test_gate_passes_on_committed_baseline(gate, tmp_path, capsys):
+    trajectory = tmp_path / "trajectory.json"
+    assert gate.main([str(BASELINE), "--trajectory", str(trajectory)]) == 0
+    assert "OK" in capsys.readouterr().out
+    record = json.loads(trajectory.read_text())
+    assert record["schema"] == gate.TRAJECTORY_SCHEMA
+    assert len(record["records"]) == 1
+    entry = record["records"][0]
+    assert entry["ok"] is True
+    assert set(entry["cycles"]) == set(
+        json.loads(BASELINE.read_text())["variants"]
+    )
+
+
+def test_gate_fails_on_2x_slowdown(gate, tmp_path, capsys):
+    # halving the committed budget makes the fresh run look 2x slower
+    def halve_budget(record):
+        record["variants"]["ours"]["cycles"] /= 2.0
+
+    baseline = _doctor(tmp_path, halve_budget)
+    assert gate.main([baseline, "--quick", "--no-trajectory"]) == 1
+    assert "performance regression" in capsys.readouterr().err
+
+
+def test_gate_fails_on_stale_baseline(gate, tmp_path, capsys):
+    def double_budget(record):
+        record["variants"]["ours"]["cycles"] *= 2.0
+
+    baseline = _doctor(tmp_path, double_budget)
+    assert gate.main([baseline, "--quick", "--no-trajectory"]) == 1
+    assert "stale baseline" in capsys.readouterr().err
+
+
+def test_gate_fails_on_flipped_bound_class(gate, tmp_path, capsys):
+    def flip_bound(record):
+        bounds = record["variants"]["ours"]["bounds"]
+        assert bounds["loop_kernel"] != "memory"
+        bounds["loop_kernel"] = "memory"
+
+    baseline = _doctor(tmp_path, flip_bound)
+    assert gate.main([baseline, "--quick", "--no-trajectory"]) == 1
+    assert "roofline balance moved" in capsys.readouterr().err
+
+
+def test_gate_writes_ci_artifacts(gate, tmp_path, capsys):
+    report = tmp_path / "artifacts" / "sol_report.txt"
+    flame = tmp_path / "artifacts" / "profile.folded"
+    baseline = _doctor(tmp_path, lambda record: None)
+    assert gate.main([
+        baseline, "--quick", "--no-trajectory",
+        "--report", str(report), "--flamegraph", str(flame),
+    ]) == 0
+    assert "Speed-of-Light" in report.read_text()
+    folded = flame.read_text().strip().splitlines()
+    assert folded and all(
+        line.rsplit(" ", 1)[1].isdigit() for line in folded
+    )
+
+
+def test_gate_appends_to_existing_trajectory(gate, tmp_path):
+    trajectory = tmp_path / "trajectory.json"
+    baseline = _doctor(tmp_path, lambda record: None)
+    assert gate.main([baseline, "--quick",
+                      "--trajectory", str(trajectory)]) == 0
+    assert gate.main([baseline, "--quick",
+                      "--trajectory", str(trajectory)]) == 0
+    record = json.loads(trajectory.read_text())
+    assert len(record["records"]) == 2
+
+
+def test_gate_exits_2_for_missing_baseline(gate, capsys):
+    with pytest.raises(SystemExit) as exc:
+        gate.main(["/nonexistent/profile_baseline.json"])
+    assert exc.value.code == 2
+    assert "no such file" in capsys.readouterr().err

@@ -1,5 +1,7 @@
 """Command-line interface tests."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -118,3 +120,70 @@ def test_staticheck_unsupported_algorithm(tmp_path, capsys):
     assert main(["--input", str(path), "--algorithm", "pkc",
                  "--staticheck"]) == 2
     assert "--staticheck" in capsys.readouterr().err
+
+
+def test_profile_creates_missing_parent_dirs(tmp_path, capsys):
+    src = tmp_path / "g.txt"
+    src.write_text("0 1\n1 2\n0 2\n")
+    out = tmp_path / "deep" / "nested" / "trace.json"
+    assert main(["--input", str(src), "--algorithm", "gpu-ours",
+                 "--profile", str(out)]) == 0
+    assert out.exists()
+    assert "wrote trace" in capsys.readouterr().out
+
+
+def test_profile_unwritable_path_is_a_clear_error(tmp_path, capsys):
+    src = tmp_path / "g.txt"
+    src.write_text("0 1\n1 2\n0 2\n")
+    blocker = tmp_path / "blocker"
+    blocker.write_text("")  # a *file* where a directory is needed
+    assert main(["--input", str(src), "--algorithm", "gpu-ours",
+                 "--profile", str(blocker / "trace.json")]) == 1
+    err = capsys.readouterr().err
+    assert "cannot write trace" in err
+    assert "Traceback" not in err
+
+
+def test_ncu_prints_sol_table(tmp_path, capsys):
+    src = tmp_path / "g.txt"
+    src.write_text("0 1\n1 2\n0 2\n2 3\n")
+    assert main(["--input", str(src), "--algorithm", "gpu-ours",
+                 "--ncu"]) == 0
+    out = capsys.readouterr().out
+    assert "Speed-of-Light" in out
+    assert "scan_kernel" in out and "loop_kernel" in out
+
+
+def test_ncu_writes_profile_and_flamegraph(tmp_path, capsys):
+    from repro.profile import validate_profile
+
+    src = tmp_path / "g.txt"
+    src.write_text("0 1\n1 2\n0 2\n2 3\n")
+    out = tmp_path / "reports" / "profile.json"
+    assert main(["--input", str(src), "--algorithm", "gpu-sm",
+                 "--ncu", str(out)]) == 0
+    record = json.loads(out.read_text())
+    assert validate_profile(record) == []
+    assert record["algorithm"] == "gpu-sm"
+    folded = (tmp_path / "reports" / "profile.json.folded").read_text()
+    assert folded.strip()
+    assert "wrote profile" in capsys.readouterr().out
+
+
+def test_ncu_unwritable_path_is_a_clear_error(tmp_path, capsys):
+    src = tmp_path / "g.txt"
+    src.write_text("0 1\n1 2\n0 2\n")
+    blocker = tmp_path / "blocker"
+    blocker.write_text("")
+    assert main(["--input", str(src), "--algorithm", "gpu-ours",
+                 "--ncu", str(blocker / "p.json")]) == 1
+    err = capsys.readouterr().err
+    assert "cannot write profile" in err
+    assert "Traceback" not in err
+
+
+def test_ncu_unsupported_algorithm(tmp_path, capsys):
+    src = tmp_path / "g.txt"
+    src.write_text("0 1\n1 2\n0 2\n")
+    assert main(["--input", str(src), "--algorithm", "bz", "--ncu"]) == 2
+    assert "--ncu" in capsys.readouterr().err
