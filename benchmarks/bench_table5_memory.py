@@ -42,6 +42,21 @@ def test_table5_peak_memory(table5, benchmark):
     ]
     title = "Table V: peak device global-memory usage (MB; N/A = failed run)"
     columns = ["dataset"] + COLUMNS
+    # the telemetry behind every cell: which arrays were live at each
+    # program's memory peak, summing exactly to the peak (the schema
+    # validator enforces the identity)
+    attribution = {
+        name: per_algo
+        for name, outcomes in table5.items()
+        if (per_algo := {
+            a: {
+                "peak_bytes": outcomes[a].peak_bytes,
+                "arrays": outcomes[a].attribution,
+            }
+            for a in COLUMNS
+            if outcomes[a].attribution is not None
+        })
+    }
     write_table("table5_memory", render_table(title, columns, rows))
     write_json("table5_memory", title, columns, rows,
                qualitative={
@@ -49,7 +64,8 @@ def test_table5_peak_memory(table5, benchmark):
                        1 for outcomes in table5.values()
                        for a in COLUMNS if outcomes[a].memory_cell == "N/A"
                    ),
-               })
+               },
+               attribution=attribution)
 
 
 def test_buffering_variants_match_ours_footprint(table5):

@@ -19,11 +19,15 @@ The package provides:
 * ``repro.profile`` — the kernel profiler: speed-of-light bound
   attribution, per-round aggregation, and flamegraph export
   (``docs/OBSERVABILITY.md``, "Profiling").
+* ``repro.memtrace`` — memory telemetry: allocation lifetimes,
+  per-round high-water marks, and exact peak attribution
+  (``docs/OBSERVABILITY.md``, "Memory telemetry").
 """
 
 from repro.api import ALGORITHMS, algorithm_names, decompose
 from repro.core.decomposer import KCoreDecomposer
 from repro.graph.csr import CSRGraph
+from repro.memtrace import MemoryTracker, MemtraceReport
 from repro.obs import Tracer, start_tracing, stop_tracing, tracing
 from repro.profile import KernelProfiler, ProfileReport
 from repro.result import DecompositionResult
@@ -39,6 +43,8 @@ __all__ = [
     "DecompositionResult",
     "KernelProfiler",
     "ProfileReport",
+    "MemoryTracker",
+    "MemtraceReport",
     "Tracer",
     "start_tracing",
     "stop_tracing",

@@ -30,12 +30,16 @@ from repro.systems.vetga import vetga_decompose
 
 __all__ = [
     "ALGORITHMS",
+    "MEMTRACEABLE",
     "PROFILABLE",
     "SANITIZABLE",
     "STATICHECKABLE",
     "algorithm_names",
     "decompose",
 ]
+
+#: the graph-parallel system emulations of Table III
+_SYSTEM_NAMES = ("vetga", "medusa-mpm", "medusa-peel", "gunrock", "gswitch")
 
 Runner = Callable[..., DecompositionResult]
 
@@ -109,9 +113,7 @@ ALGORITHMS: Dict[str, Runner] = _build_registry()
 SANITIZABLE: FrozenSet[str] = frozenset(
     name
     for name in ALGORITHMS
-    if name == "fast"
-    or name.startswith("gpu-")
-    or name in ("vetga", "medusa-mpm", "medusa-peel", "gunrock", "gswitch")
+    if name == "fast" or name.startswith("gpu-") or name in _SYSTEM_NAMES
 )
 
 
@@ -129,13 +131,24 @@ STATICHECKABLE: FrozenSet[str] = frozenset(
 #: algorithms whose runner accepts ``profile=True`` (the kernel
 #: profiler's speed-of-light reports, :mod:`repro.profile`): the
 #: single-GPU peeling variants, which launch real SIMT kernels whose
-#: per-block timings the profiler attributes.  The system emulations
-#: charge logical time without SIMT launches, the CPU baselines model
-#: no device, and the multi-GPU runner composes per-device runs the
-#: profiler does not yet merge.
+#: per-block timings the profiler attributes, plus the system
+#: emulations, whose labelled :meth:`~repro.gpusim.device.Device.charge`
+#: calls become coarse ``source="charge"`` records.  The CPU baselines
+#: model no device, and the multi-GPU runner composes per-device runs
+#: the profiler does not yet merge.
 PROFILABLE: FrozenSet[str] = frozenset(
     f"gpu-{name}" for name in variant_names()
-)
+) | frozenset(_SYSTEM_NAMES)
+
+
+#: algorithms whose runner accepts ``memtrace=True`` (memory telemetry
+#: with exact peak attribution, :mod:`repro.memtrace`): everything that
+#: allocates simulated device memory — the single- and multi-GPU
+#: peeling runners and the system emulations.  The CPU baselines and
+#: the native fast path model no device memory.
+MEMTRACEABLE: FrozenSet[str] = frozenset(
+    name for name in ALGORITHMS if name.startswith("gpu-")
+) | frozenset(_SYSTEM_NAMES)
 
 
 def algorithm_names() -> Tuple[str, ...]:

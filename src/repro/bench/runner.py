@@ -14,7 +14,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.api import decompose
+from repro.api import MEMTRACEABLE, decompose
 from repro.errors import (
     BufferOverflowError,
     DeviceOutOfMemoryError,
@@ -35,7 +35,14 @@ _LOAD_GATED = {"vetga"}
 
 @dataclass(frozen=True)
 class Outcome:
-    """One cell of a paper table."""
+    """One cell of a paper table.
+
+    ``peak_bytes`` / ``attribution`` carry the exact memory telemetry
+    behind ``peak_memory_mb`` when the program is memtraceable
+    (:data:`repro.api.MEMTRACEABLE`): ``attribution`` maps every array
+    live at the peak (plus the ``(context)`` base) to its bytes, and
+    sums exactly to ``peak_bytes``.
+    """
 
     algorithm: str
     dataset: str
@@ -44,6 +51,8 @@ class Outcome:
     simulated_ms_std: float = 0.0
     peak_memory_mb: Optional[float] = None
     rounds: int = 0
+    peak_bytes: Optional[int] = None
+    attribution: Optional[Dict[str, int]] = None
 
     @property
     def cell(self) -> str:
@@ -99,6 +108,10 @@ def run_program(
     result: Optional[DecompositionResult] = None
     for rep in range(max(1, repeats)):
         kwargs = _kwargs_for(algorithm, budget_ms)
+        if algorithm in MEMTRACEABLE:
+            # memory telemetry is observability-only (byte-identical
+            # simulated time and peak), so every bench run carries it
+            kwargs["memtrace"] = True
         if repeats > 1 and algorithm.startswith("gpu-"):
             from repro.core.host import GpuPeelOptions
 
@@ -120,6 +133,7 @@ def run_program(
     if budget_ms is not None and mean > budget_ms:
         # CPU programs have no in-run budget; classify afterwards
         return Outcome(algorithm, dataset, "timeout")
+    memtrace = result.memtrace
     return Outcome(
         algorithm,
         dataset,
@@ -130,6 +144,10 @@ def run_program(
         if result.peak_memory_bytes
         else None,
         rounds=result.rounds,
+        peak_bytes=memtrace.peak_bytes if memtrace is not None else None,
+        attribution=(
+            dict(memtrace.breakdown()) if memtrace is not None else None
+        ),
     )
 
 

@@ -87,7 +87,12 @@ def _validate_profile_baseline(record: Dict[str, Any]) -> List[str]:
 
 
 def _validate_trajectory(record: Dict[str, Any]) -> List[str]:
-    """Structural check of a ``repro.bench-trajectory/v1`` record."""
+    """Structural check of a ``repro.bench-trajectory/v1`` record.
+
+    An entry carries ``cycles`` (the perf gate's per-variant kernel
+    cycles), ``peaks`` (the memory gate's per-program peak bytes), or
+    both — at least one must be present.
+    """
     errors: List[str] = []
     entries = record.get("records")
     if not isinstance(entries, list):
@@ -99,13 +104,77 @@ def _validate_trajectory(record: Dict[str, Any]) -> List[str]:
         for key in ("date", "dataset"):
             if not isinstance(entry.get(key), str) or not entry.get(key):
                 errors.append(f"records[{i}].{key} must be a non-empty string")
-        cycles = entry.get("cycles")
-        if not isinstance(cycles, dict) or not all(
-            _is_number(v) for v in cycles.values()
-        ):
-            errors.append(f"records[{i}].cycles must map variants to numbers")
+        if "cycles" not in entry and "peaks" not in entry:
+            errors.append(f"records[{i}] needs a cycles or peaks object")
+        for key in ("cycles", "peaks"):
+            if key not in entry:
+                continue
+            values = entry[key]
+            if not isinstance(values, dict) or not all(
+                _is_number(v) for v in values.values()
+            ):
+                errors.append(
+                    f"records[{i}].{key} must map programs to numbers"
+                )
         if not isinstance(entry.get("ok"), bool):
             errors.append(f"records[{i}].ok must be a boolean")
+    return errors
+
+
+def _validate_memory_baseline(record: Dict[str, Any]) -> List[str]:
+    """Structural check of a ``repro.memory-baseline/v1`` record.
+
+    Pins the exact peak bytes of every kernel variant and system
+    emulation on one dataset, plus Table V's ordering claims; consumed
+    by ``scripts/check_memory_regression.py``.
+    """
+    errors: List[str] = []
+    if not isinstance(record.get("dataset"), str) or not record["dataset"]:
+        errors.append("dataset must be a non-empty string")
+    for group in ("variants", "systems"):
+        peaks = record.get(group)
+        if not isinstance(peaks, dict) or not peaks:
+            errors.append(f"{group} must be a non-empty object")
+            continue
+        for name, value in peaks.items():
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value <= 0:
+                errors.append(
+                    f"{group}[{name}] must be a positive integer "
+                    f"(exact peak bytes), got {value!r}"
+                )
+    ordering = record.get("ordering")
+    if not isinstance(ordering, dict):
+        errors.append("ordering must be an object")
+    else:
+        variants = record.get("variants")
+        known = set(variants) if isinstance(variants, dict) else None
+        for key in ("minimal_tie", "above"):
+            names = ordering.get(key)
+            if not isinstance(names, list) or not names or not all(
+                isinstance(n, str) for n in names
+            ):
+                errors.append(
+                    f"ordering.{key} must be a non-empty list of strings"
+                )
+            elif known is not None:
+                for n in names:
+                    if n not in known:
+                        errors.append(
+                            f"ordering.{key} names unknown variant {n!r}"
+                        )
+    oom = record.get("oom")
+    if oom is not None:
+        if not isinstance(oom, dict):
+            errors.append("oom must be an object when present")
+        else:
+            if not isinstance(oom.get("dataset"), str) or not oom["dataset"]:
+                errors.append("oom.dataset must be a non-empty string")
+            systems = oom.get("systems")
+            if not isinstance(systems, list) or not systems or not all(
+                isinstance(s, str) for s in systems
+            ):
+                errors.append("oom.systems must be a non-empty list of strings")
     return errors
 
 
@@ -114,6 +183,7 @@ def _validate_trajectory(record: Dict[str, Any]) -> List[str]:
 SIBLING_SCHEMAS = {
     "repro.profile-baseline/v1": _validate_profile_baseline,
     "repro.bench-trajectory/v1": _validate_trajectory,
+    "repro.memory-baseline/v1": _validate_memory_baseline,
 }
 
 
@@ -123,14 +193,21 @@ def build_record(
     columns: Sequence[str],
     rows: Sequence[Sequence[Any]],
     qualitative: Mapping[str, Any] | None = None,
+    attribution: Mapping[str, Any] | None = None,
 ) -> Dict[str, Any]:
     """Assemble a schema-conforming record from ``render_table`` inputs.
 
     ``rows`` are the same row lists handed to
     :func:`repro.bench.tables.render_table`: first element the dataset
     name, the rest the cell values (stringified here).
+
+    ``attribution`` is the optional per-allocation memory breakdown a
+    memory bench records behind its cells:
+    ``{dataset: {algorithm: {"peak_bytes": int, "arrays": {name: bytes}}}}``
+    where the arrays (including the ``"(context)"`` base) sum exactly
+    to ``peak_bytes`` — :func:`validate_record` enforces the identity.
     """
-    return {
+    record = {
         "schema": SCHEMA_VERSION,
         "name": str(name),
         "title": str(title),
@@ -141,6 +218,12 @@ def build_record(
         ],
         "qualitative": dict(qualitative) if qualitative else {},
     }
+    if attribution is not None:
+        record["attribution"] = {
+            dataset: {algo: dict(entry) for algo, entry in per_algo.items()}
+            for dataset, per_algo in attribution.items()
+        }
+    return record
 
 
 def validate_record(record: Any) -> List[str]:
@@ -187,6 +270,64 @@ def validate_record(record: Any) -> List[str]:
         record["qualitative"], dict
     ):
         errors.append("qualitative must be an object when present")
+    if "attribution" in record:
+        errors.extend(
+            _validate_attribution(record["attribution"], columns, rows)
+        )
+    return errors
+
+
+def _validate_attribution(
+    attribution: Any, columns: Any, rows: List[Any]
+) -> List[str]:
+    """Check a bench record's memory-attribution block.
+
+    The headline invariant: every entry's arrays sum *exactly* (integer
+    equality, no tolerance) to its ``peak_bytes`` — an attribution that
+    does not add up is worse than none.
+    """
+    errors: List[str] = []
+    if not isinstance(attribution, dict):
+        return ["attribution must be an object when present"]
+    datasets = {
+        row.get("dataset")
+        for row in rows
+        if isinstance(row, dict) and isinstance(row.get("dataset"), str)
+    }
+    algorithms = set(columns[1:]) if isinstance(columns, list) else None
+    for dataset, per_algo in attribution.items():
+        if datasets and dataset not in datasets:
+            errors.append(
+                f"attribution[{dataset}] does not match any row dataset"
+            )
+        if not isinstance(per_algo, dict) or not per_algo:
+            errors.append(f"attribution[{dataset}] must be a non-empty object")
+            continue
+        for algo, entry in per_algo.items():
+            where = f"attribution[{dataset}][{algo}]"
+            if algorithms is not None and algo not in algorithms:
+                errors.append(f"{where} does not match any value column")
+            if not isinstance(entry, dict):
+                errors.append(f"{where} must be an object")
+                continue
+            peak = entry.get("peak_bytes")
+            if not isinstance(peak, int) or isinstance(peak, bool) or peak < 0:
+                errors.append(f"{where}.peak_bytes must be a non-negative int")
+                continue
+            arrays = entry.get("arrays")
+            if not isinstance(arrays, dict) or not arrays or not all(
+                isinstance(v, int) and not isinstance(v, bool) and v >= 0
+                for v in arrays.values()
+            ):
+                errors.append(
+                    f"{where}.arrays must map names to non-negative ints"
+                )
+                continue
+            total = sum(arrays.values())
+            if total != peak:
+                errors.append(
+                    f"{where}: arrays sum to {total}, not peak_bytes {peak}"
+                )
     return errors
 
 

@@ -79,14 +79,19 @@ def write_json(
     columns: Sequence[str],
     rows: Sequence[Sequence[Any]],
     qualitative: Mapping[str, Any] | None = None,
+    attribution: Mapping[str, Any] | None = None,
 ) -> Path:
     """Persist the same table as a ``repro.bench/v1`` JSON record.
 
     ``columns``/``rows`` are exactly the arguments handed to
     :func:`render_table`; call both writers with the same values and
     the ``.txt`` and ``.json`` artefacts cannot drift apart.
+    ``attribution`` is the optional per-allocation memory breakdown
+    (see :func:`repro.bench.schema.build_record`).
     """
-    record = build_record(name, title, columns, rows, qualitative)
+    record = build_record(
+        name, title, columns, rows, qualitative, attribution=attribution
+    )
     path = results_dir() / f"{name}.json"
     path.write_text(json.dumps(record, indent=1) + "\n")
     print(f"[saved to {path}]")

@@ -28,8 +28,19 @@ certificate — and prints that report; error findings exit 1.
 speed-of-light table — per-kernel bound classification, pipeline
 utilisation, occupancy and efficiency figures.  With a ``FILE``
 argument the full ``repro.profile/v1`` JSON report is written there
-too (a sibling ``FILE.folded`` gets the flamegraph stacks).  Only the
-single-GPU ``gpu-*`` peeling algorithms are profilable.
+too (a sibling ``FILE.folded`` gets the flamegraph stacks).  The
+single-GPU ``gpu-*`` peeling algorithms get per-launch roofline
+attribution; the system emulations get coarse ``source="charge"``
+records of their logical kernels.
+
+``--memtrace [FILE]`` records memory telemetry (see
+:mod:`repro.memtrace` and the "Memory telemetry" section of
+``docs/OBSERVABILITY.md``) and prints the allocation timeline with an
+exact attribution breakdown of the memory peak.  With a ``FILE``
+argument the ``repro.memtrace/v1`` JSON report is written there too.
+Error findings (double-free, use-after-free) make the exit status 1.
+Supported for everything that allocates simulated device memory
+(``repro.api.MEMTRACEABLE``).
 """
 
 from __future__ import annotations
@@ -43,6 +54,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.api import (
+    MEMTRACEABLE,
     PROFILABLE,
     SANITIZABLE,
     STATICHECKABLE,
@@ -113,6 +125,13 @@ def build_parser() -> argparse.ArgumentParser:
              "speed-of-light table; with FILE, also write the "
              "repro.profile/v1 JSON report there and the flamegraph "
              "stacks to FILE.folded",
+    )
+    parser.add_argument(
+        "--memtrace", nargs="?", const="-", default=None, metavar="FILE",
+        help="record memory telemetry (allocation lifetimes, exact peak "
+             "attribution) and print the timeline; with FILE, also "
+             "write the repro.memtrace/v1 JSON report there; "
+             "double-free/use-after-free findings exit 1",
     )
     parser.add_argument(
         "--staticheck", action="store_true",
@@ -223,6 +242,11 @@ def main(argv: Sequence[str] | None = None) -> int:
               f"--ncu (supported: {', '.join(sorted(PROFILABLE))})",
               file=sys.stderr)
         return 2
+    if args.memtrace is not None and args.algorithm not in MEMTRACEABLE:
+        print(f"error: algorithm {args.algorithm!r} does not support "
+              f"--memtrace (supported: {', '.join(sorted(MEMTRACEABLE))})",
+              file=sys.stderr)
+        return 2
     if args.dataset:
         try:
             graph = datasets.load(args.dataset)
@@ -240,6 +264,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         run_kwargs["staticheck"] = True
     if args.ncu is not None:
         run_kwargs["profile"] = True
+    if args.memtrace is not None:
+        run_kwargs["memtrace"] = True
     if args.profile:
         from repro.obs import start_tracing, stop_tracing
 
@@ -299,6 +325,19 @@ def main(argv: Sequence[str] | None = None) -> int:
                 return 1
             print(f"wrote profile ({len(profile.launches)} launches) to "
                   f"{args.ncu} and flamegraph stacks to {folded}")
+    if args.memtrace is not None:
+        memtrace = result.memtrace
+        if memtrace is None:
+            print("memtrace: no report produced", file=sys.stderr)
+            return 1
+        print(memtrace.render())
+        if args.memtrace != "-":
+            if not _write_file(args.memtrace, memtrace.write, "memtrace"):
+                return 1
+            print(f"wrote memtrace ({memtrace.peak_bytes} peak bytes) to "
+                  f"{args.memtrace}")
+        if memtrace.errors:
+            return 1
     return 0
 
 

@@ -38,6 +38,13 @@ gets a speed-of-light bound attribution and ``result.profile`` carries
 the :class:`~repro.profile.report.ProfileReport`; in ``fast`` mode
 there are no kernel launches to profile, so ``result.profile`` stays
 ``None``.
+
+Pass ``memtrace=True`` to record memory telemetry (see the "Memory
+telemetry" section of ``docs/OBSERVABILITY.md``): in ``simulate`` mode
+every device allocation's lifetime is recorded and the memory peak gets
+an exact attribution breakdown on ``result.memtrace``; in ``fast`` mode
+there is no simulated device memory to trace, so ``result.memtrace``
+stays ``None``.
 """
 
 from __future__ import annotations
@@ -81,6 +88,7 @@ class KCoreDecomposer:
         sanitize: bool = False,
         staticheck: bool = False,
         profile: bool = False,
+        memtrace: bool = False,
     ) -> None:
         if mode not in _MODES:
             raise ReproError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -93,6 +101,7 @@ class KCoreDecomposer:
         self.sanitize = sanitize
         self.staticheck = staticheck
         self.profile = profile
+        self.memtrace = memtrace
 
     def decompose(self, graph: CSRGraph) -> DecompositionResult:
         """Compute the core number of every vertex of ``graph``."""
@@ -152,6 +161,7 @@ class KCoreDecomposer:
             sanitize=self.sanitize,
             staticheck=self.staticheck,
             profile=self.profile,
+            memtrace=self.memtrace,
         )
 
     def core_numbers(self, graph: CSRGraph):

@@ -69,6 +69,14 @@ class GpuPeelOptions:
     #: ``result.profile``; observability-only — simulated time is
     #: byte-identical with profiling on or off
     profile: bool = False
+    #: record every device allocation's lifetime plus an exact
+    #: attribution breakdown of the memory peak (see
+    #: :mod:`repro.memtrace`) and attach the
+    #: :class:`~repro.memtrace.report.MemtraceReport` to
+    #: ``result.memtrace``; observability-only — simulated time,
+    #: counters, and the peak itself are byte-identical with memory
+    #: tracing on or off
+    memtrace: bool = False
 
 
 def gpu_peel(
@@ -82,6 +90,7 @@ def gpu_peel(
     sanitize: bool | None = None,
     staticheck: bool | None = None,
     profile: bool | None = None,
+    memtrace: bool | None = None,
 ) -> DecompositionResult:
     """Run the paper's GPU peeling algorithm on the simulator.
 
@@ -114,6 +123,11 @@ def gpu_peel(
             :class:`~repro.profile.report.ProfileReport` — per-launch
             bound classification, per-kernel and per-round aggregation,
             flamegraph export — lands on ``result.profile``.
+        memtrace: record the lifetime of every device allocation and
+            attribute the memory peak exactly (overrides
+            ``options.memtrace`` when given); the
+            :class:`~repro.memtrace.report.MemtraceReport` lands on
+            ``result.memtrace``.
 
     Returns:
         A :class:`DecompositionResult` whose ``simulated_ms`` /
@@ -129,6 +143,7 @@ def gpu_peel(
     want_sanitize = opts.sanitize if sanitize is None else sanitize
     want_staticheck = opts.staticheck if staticheck is None else staticheck
     want_profile = opts.profile if profile is None else profile
+    want_memtrace = opts.memtrace if memtrace is None else memtrace
     if want_staticheck and cfg.ring_buffer:
         raise ReproError(
             "staticheck is not available for ring-buffer variants: a "
@@ -146,6 +161,7 @@ def gpu_peel(
             tracer=tracer,
             sanitize=want_sanitize,
             profile=want_profile,
+            memtrace=want_memtrace,
         )
     else:
         if tracer is not None:
@@ -158,9 +174,20 @@ def gpu_peel(
             from repro.profile.profiler import KernelProfiler
 
             device.profiler = KernelProfiler()
+        if want_memtrace and device.memtracer is None:
+            from repro.memtrace.tracker import MemoryTracker
+
+            # late attach: anything already resident on the shared
+            # device is opaque history, folded into the base
+            mt = MemoryTracker()
+            mt.attach(device.memory.in_use, ts_ms=device.elapsed_ms)
+            device.memtracer = mt
     profiler = device.profiler
     if profiler is not None:
         profiler.annotate(variant=cfg.name, algorithm=f"gpu-{cfg.name}")
+    memtracer = device.memtracer
+    if memtracer is not None:
+        memtracer.annotate(variant=cfg.name, algorithm=f"gpu-{cfg.name}")
     spec = device.spec
     if cfg.prefetch and spec.warps_per_block < 2:
         raise ReproError(
@@ -178,6 +205,8 @@ def gpu_peel(
             buffer_capacity=opts.buffer_capacity,
         )
     if n == 0:
+        if memtracer is not None:
+            memtracer.finish(device.elapsed_ms)
         return DecompositionResult(
             core=np.empty(0, dtype=np.int64),
             algorithm=f"gpu-{cfg.name}",
@@ -188,6 +217,9 @@ def gpu_peel(
             staticheck=checker.report if checker is not None else None,
             profile=(
                 profiler.report() if profiler is not None else None
+            ),
+            memtrace=(
+                memtracer.report() if memtracer is not None else None
             ),
         )
 
@@ -230,6 +262,8 @@ def gpu_peel(
         )
         if profiler is not None:
             profiler.set_round(k)
+        if memtracer is not None:
+            memtracer.set_round(k)
         stats = device.launch(
             scan_kernel, args=(k, deg_d, buf_d, tails_d, n, capacity, cfg)
         )  # Line 6
@@ -262,7 +296,15 @@ def gpu_peel(
 
     if profiler is not None:
         profiler.set_round(None)
+    if memtracer is not None:
+        memtracer.set_round(None)
     core = device.read_back(deg_d)  # Line 10
+    if memtracer is not None:
+        # release the run's arrays so every lifetime closes (the peak
+        # is already booked); untraced devices keep their contents for
+        # post-run inspection, as before
+        device.free_all()
+        memtracer.finish(device.elapsed_ms)
     effective_capacity = capacity + shared_capacity
     counters = {
         "host.rounds": float(k),
@@ -307,4 +349,5 @@ def gpu_peel(
         ),
         staticheck=checker.report if checker is not None else None,
         profile=profiler.report() if profiler is not None else None,
+        memtrace=memtracer.report() if memtracer is not None else None,
     )

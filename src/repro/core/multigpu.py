@@ -81,6 +81,7 @@ def multi_gpu_peel(
     cost_model: CostModel | None = None,
     options: MultiGpuOptions | None = None,
     sanitize: bool = False,
+    memtrace: bool = False,
 ) -> DecompositionResult:
     """Decompose ``graph`` across ``num_devices`` simulated GPUs.
 
@@ -93,6 +94,14 @@ def multi_gpu_peel(
     With ``sanitize=True`` every worker device shares one
     :class:`~repro.sanitize.racecheck.KernelSanitizer`, so the report on
     ``result.sanitizer`` aggregates findings across the whole cluster.
+
+    With ``memtrace=True`` each worker device gets its own
+    :class:`~repro.memtrace.tracker.MemoryTracker` (named ``gpu0``,
+    ``gpu1``, ...); the merged
+    :class:`~repro.memtrace.report.MemtraceReport` on
+    ``result.memtrace`` carries one worker section per device, and
+    ``stats["per_device_peak_bytes"]`` lists every worker's peak so the
+    headline max is auditable.
     """
     cfg = variant if isinstance(variant, VariantConfig) else get_variant(variant)
     spec = spec or DeviceSpec()
@@ -102,18 +111,45 @@ def multi_gpu_peel(
         from repro.sanitize.racecheck import KernelSanitizer
 
         sanitizer = KernelSanitizer()
+    algorithm = f"gpu-multi{num_devices}-{cfg.name}"
+    trackers = None
+    if memtrace:
+        from repro.memtrace.tracker import MemoryTracker
+
+        trackers = [
+            MemoryTracker(worker=f"gpu{d}") for d in range(num_devices)
+        ]
+        for mt in trackers:
+            mt.annotate(variant=cfg.name, algorithm=algorithm)
+
+    def _memtrace_report():
+        if trackers is None:
+            return None
+        from repro.memtrace.report import MemtraceReport
+
+        return MemtraceReport.from_trackers(
+            trackers, algorithm=algorithm, variant=cfg.name
+        )
+
     n = graph.num_vertices
     if n == 0:
+        if trackers is not None:
+            for mt in trackers:
+                mt.finish(0.0)
         return DecompositionResult(
             core=np.empty(0, dtype=np.int64),
-            algorithm=f"gpu-multi{num_devices}-{cfg.name}",
+            algorithm=algorithm,
             sanitizer=sanitizer.report if sanitizer is not None else None,
+            memtrace=_memtrace_report(),
         )
 
     ranges = partition_ranges(graph, num_devices)
     devices = [
-        Device(spec=spec, cost_model=cost_model, sanitizer=sanitizer)
-        for _ in range(num_devices)
+        Device(
+            spec=spec, cost_model=cost_model, sanitizer=sanitizer,
+            memtracer=trackers[d] if trackers is not None else None,
+        )
+        for d in range(num_devices)
     ]
     workers = []
     for d, (lo, hi) in enumerate(ranges):
@@ -156,6 +192,9 @@ def multi_gpu_peel(
                 f"multi-GPU peeling stalled at round {k} "
                 f"({removed}/{n} removed)"
             )
+        if trackers is not None:
+            for mt in trackers:
+                mt.set_round(k)
         while True:  # sub-rounds of round k
             # master: the current k-shell frontier (clamping guarantees
             # alive degrees never sit below k)
@@ -218,9 +257,14 @@ def multi_gpu_peel(
     core = master_deg
     cost = devices[0].cost_model
     total_ms = cost.cycles_to_ms(coordinator_cycles)
+    if trackers is not None:
+        for d, device in enumerate(devices):
+            device.free_all()
+            trackers[d].set_round(None)
+            trackers[d].finish(device.elapsed_ms)
     return DecompositionResult(
         core=core,
-        algorithm=f"gpu-multi{num_devices}-{cfg.name}",
+        algorithm=algorithm,
         simulated_ms=total_ms,
         peak_memory_bytes=max(d.peak_memory_bytes for d in devices),
         rounds=k,
@@ -229,6 +273,8 @@ def multi_gpu_peel(
             "sub_rounds": sub_rounds,
             "partition_ranges": ranges,
             "per_device_ms": [d.elapsed_ms for d in devices],
+            "per_device_peak_bytes": [d.peak_memory_bytes for d in devices],
         },
         sanitizer=sanitizer.report if sanitizer is not None else None,
+        memtrace=_memtrace_report(),
     )

@@ -63,6 +63,29 @@ class DeviceOutOfMemoryError(DeviceError):
         )
 
 
+class InvalidFreeError(DeviceError):
+    """A ``free`` on the simulated device named no live allocation.
+
+    ``kind`` is ``"double"`` when the name was allocated and already
+    freed (a double free) and ``"unknown"`` when it was never allocated
+    at all.  Mirrors the undefined behaviour a real ``cudaFree`` of a
+    stale or garbage pointer invokes; the simulator diagnoses it as a
+    typed error instead, and the memory tracker
+    (:mod:`repro.memtrace`) additionally surfaces it as a
+    ``double-free`` sanitizer finding.
+    """
+
+    def __init__(self, name: str, kind: str) -> None:
+        self.name = name
+        self.kind = kind
+        what = (
+            "double free of device array"
+            if kind == "double"
+            else "free of unknown device array"
+        )
+        super().__init__(f"invalid free: {what} {name!r}")
+
+
 class BufferOverflowError(DeviceError):
     """A per-block vertex buffer overflowed its fixed capacity.
 

@@ -62,6 +62,7 @@ from repro.gpusim.memory import DeviceArray
 from repro.gpusim.spec import DeviceSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.memtrace.tracker import MemoryTracker
     from repro.sanitize.racecheck import LaunchMonitor
 
 __all__ = ["BARRIER", "STEP", "BlockState", "WarpContext"]
@@ -78,7 +79,13 @@ _WORDS_PER_TRANSACTION = 32
 class BlockState:
     """Mutable per-block state: shared memory plus timing counters."""
 
-    def __init__(self, block_idx: int, num_warps: int, spec: DeviceSpec) -> None:
+    def __init__(
+        self,
+        block_idx: int,
+        num_warps: int,
+        spec: DeviceSpec,
+        memtracker: "MemoryTracker | None" = None,
+    ) -> None:
         self.block_idx = block_idx
         self.num_warps = num_warps
         self.spec = spec
@@ -86,6 +93,9 @@ class BlockState:
         self.scalars: Dict[str, int] = {}
         self.arrays: Dict[str, np.ndarray] = {}
         self.shared_bytes_used = 0
+        #: optional memory tracker (see :mod:`repro.memtrace`) notified
+        #: of shared-memory allocations; observability-only
+        self.memtracker = memtracker
         # scheduler bookkeeping
         self.active_warps = num_warps
         self.waiting: list = []
@@ -105,6 +115,8 @@ class BlockState:
                 self.spec.shared_memory_per_block_bytes,
             )
         self.shared_bytes_used += needed
+        if self.memtracker is not None:
+            self.memtracker.on_shared_alloc(self.block_idx, name, needed)
         array = np.zeros(size, dtype=np.int64)
         self.arrays[name] = array
         return array

@@ -67,6 +67,31 @@ profiler is observability-only: simulated time is byte-identical with
 it on or off.  A shared :class:`KernelProfiler` may instead be passed
 via ``profiler=`` (the explicit instance wins over the bool) so a host
 program can annotate rounds and pull the final report.
+
+With a profiler attached, labelled :meth:`charge` calls are also
+recorded — as coarse ``source="charge"`` records with no per-block
+attribution (the system emulations book logical-kernel time without
+SIMT launches), so a profiled Gunrock/GSwitch/Medusa/VETGA run is no
+longer invisible to ``--ncu``.
+
+Memory tracing
+--------------
+
+``Device(memtrace=True)`` attaches a
+:class:`~repro.memtrace.tracker.MemoryTracker`; every
+:meth:`malloc` / :meth:`free` then records the allocation's lifetime
+on the simulated timeline, invalid frees and read-backs of freed
+arrays become ``double-free`` / ``use-after-free`` findings, kernel
+launches scope in-flight shared-memory allocations, and the tracker
+snapshots the exact attribution breakdown whenever ``GlobalMemory``
+sets a new peak — see :mod:`repro.memtrace` and the "Memory telemetry"
+section of ``docs/OBSERVABILITY.md``.  When both a tracer and a memory
+tracker are attached, each transition additionally emits a
+``memory.in_use`` counter-track sample, so the Chrome-trace export
+gains a memory timeline.  A pre-built tracker may instead be passed
+via ``memtracer=`` (multi-GPU peeling names one per worker).  Like
+every other hook, tracking is observability-only: simulated time,
+counters, and the peak itself are byte-identical with it on or off.
 """
 
 from __future__ import annotations
@@ -75,7 +100,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
-from repro.errors import SimulatedTimeLimitExceeded
+from repro.errors import InvalidFreeError, SimulatedTimeLimitExceeded
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.memory import DeviceArray, GlobalMemory
 from repro.gpusim.scheduler import KernelFn, KernelStats, run_kernel
@@ -83,6 +108,7 @@ from repro.gpusim.spec import DeviceSpec
 from repro.obs.tracer import active_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.memtrace.tracker import MemoryTracker
     from repro.obs.tracer import Tracer
     from repro.profile.profiler import KernelProfiler
     from repro.sanitize.racecheck import KernelSanitizer
@@ -105,6 +131,8 @@ class Device:
         sanitizer: "KernelSanitizer | None" = None,
         profile: bool = False,
         profiler: "KernelProfiler | None" = None,
+        memtrace: bool = False,
+        memtracer: "MemoryTracker | None" = None,
     ) -> None:
         self.spec = spec or DeviceSpec()
         self.spec.validate()
@@ -138,6 +166,16 @@ class Device:
 
             profiler = KernelProfiler()
         self.profiler = profiler
+        #: the attached memory tracker, or ``None`` (memtrace off); an
+        #: explicit instance wins over the ``memtrace`` switch so
+        #: multi-GPU peeling can name one tracker per worker
+        if memtracer is None and memtrace:
+            from repro.memtrace.tracker import MemoryTracker
+
+            memtracer = MemoryTracker()
+        if memtracer is not None:
+            memtracer.attach(self.spec.context_overhead_bytes)
+        self.memtracer = memtracer
 
     # -- memory -------------------------------------------------------------
 
@@ -148,6 +186,9 @@ class Device:
         array = self.memory.malloc(
             name, size, fill=fill, id_bytes=self.spec.id_bytes
         )
+        mt = self.memtracer
+        if mt is not None:
+            mt.on_malloc(name, array.device_bytes, self.elapsed_ms)
         tr = self.tracer
         if tr is not None:
             tr.instant(
@@ -156,20 +197,59 @@ class Device:
                 args={"bytes": array.device_bytes,
                       "in_use": self.memory.in_use},
             )
+            if mt is not None:
+                tr.sample(
+                    "memory.in_use", self.elapsed_ms, self.memory.in_use
+                )
         return array
 
     def free(self, name: str) -> None:
-        """``cudaFree``."""
-        self.memory.free(name)
+        """``cudaFree``.
+
+        Raises:
+            InvalidFreeError: unknown name or double free; with a
+                memory tracker attached the hazard is also recorded as
+                a ``double-free`` finding before the raise.
+        """
+        mt = self.memtracer
+        try:
+            self.memory.free(name)
+        except InvalidFreeError as exc:
+            if mt is not None:
+                mt.on_invalid_free(name, self.elapsed_ms, exc.kind)
+            raise
+        if mt is not None:
+            mt.on_free(name, self.elapsed_ms)
         tr = self.tracer
         if tr is not None:
             tr.instant(
                 f"free {name}", self.elapsed_ms, cat="memory",
                 track="device", args={"in_use": self.memory.in_use},
             )
+            if mt is not None:
+                tr.sample(
+                    "memory.in_use", self.elapsed_ms, self.memory.in_use
+                )
+
+    def free_all(self) -> None:
+        """``cudaFree`` every live allocation (end-of-program cleanup).
+
+        Goes through :meth:`free` so the tracer and memory tracker see
+        each release individually.
+        """
+        for name in self.memory.live():
+            self.free(name)
 
     def read_back(self, array: DeviceArray) -> np.ndarray:
-        """``cudaMemcpyDeviceToHost``: a defensive copy of the data."""
+        """``cudaMemcpyDeviceToHost``: a defensive copy of the data.
+
+        Reading back a freed array still returns the stale bytes (as
+        the real UB would) but is diagnosed as a ``use-after-free``
+        finding when a memory tracker is attached.
+        """
+        mt = self.memtracer
+        if mt is not None and array.freed:
+            mt.on_use_after_free(array.name, self.elapsed_ms)
         return array.data.copy()
 
     # -- launches -----------------------------------------------------------
@@ -200,6 +280,9 @@ class Device:
             else None
         )
         prof = self.profiler
+        mt = self.memtracer
+        if mt is not None:
+            mt.set_scope(getattr(kernel_fn, "__name__", "kernel"))
         stats = run_kernel(
             kernel_fn,
             self.spec,
@@ -212,7 +295,10 @@ class Device:
             seed=self._seed + self.kernel_launches,
             monitor=monitor,
             collect_timings=prof is not None,
+            memtracker=mt,
         )
+        if mt is not None:
+            mt.set_scope(None)
         if san is not None:
             san.end_launch(monitor)
         if prof is not None:
@@ -264,12 +350,21 @@ class Device:
 
         ``label`` names the logical kernel for the tracer: when tracing
         is on, a labelled charge becomes a ``"device"``-track span
-        covering the charged interval, with ``args`` attached.
+        covering the charged interval, with ``args`` attached.  With a
+        profiler attached, a labelled charge is additionally recorded
+        as a coarse ``source="charge"`` profile entry — cycles only, no
+        per-block attribution.
         """
         tr = self.tracer
         charge_ts = self.elapsed_ms if tr is not None else 0.0
         self.total_cycles += cycles
         self.kernel_launches += launches
+        prof = self.profiler
+        if prof is not None and label is not None:
+            prof.record_charge(
+                label, cycles, launches=launches, args=args,
+                spec=self.spec, cost=self.cost_model,
+            )
         if tr is not None:
             if label is not None:
                 tr.span(

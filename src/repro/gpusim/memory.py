@@ -9,6 +9,13 @@ A :class:`DeviceArray` is backed by a host numpy array (int64 for
 indexing convenience) but accounted at the device width (4-byte IDs by
 default), matching how the paper stores graphs compactly.
 
+Free semantics are typed: freeing a name that is not live raises
+:class:`~repro.errors.InvalidFreeError`, distinguishing a *double free*
+(the name was live once and already released) from an *unknown* name
+(never allocated).  A freed :class:`DeviceArray` keeps its data but is
+flagged ``freed``, so a later read-back can be diagnosed as a
+use-after-free by the memory tracker.
+
 Observability
 -------------
 :class:`GlobalMemory` itself stays tracer-free; the owning
@@ -17,28 +24,38 @@ Observability
 <name>`` instant events (with byte counts and the running ``in_use``
 watermark) on the ``device`` track when tracing is enabled — see
 ``docs/OBSERVABILITY.md``.  ``peak`` feeds the
-``device.peak_memory_bytes`` figure reported by every result.
+``device.peak_memory_bytes`` figure reported by every result.  The
+device likewise forwards each transition to an attached
+:class:`~repro.memtrace.tracker.MemoryTracker`
+(``Device(memtrace=True)``), which records allocation lifetimes and
+snapshots the attribution breakdown whenever ``peak`` moves.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
 
 import numpy as np
 
-from repro.errors import DeviceOutOfMemoryError
+from repro.errors import DeviceOutOfMemoryError, InvalidFreeError
 
 __all__ = ["DeviceArray", "GlobalMemory"]
 
 
 @dataclass
 class DeviceArray:
-    """A named allocation in simulated global memory."""
+    """A named allocation in simulated global memory.
+
+    ``freed`` flips when the allocation is released; the stale host
+    copy survives (as the bytes of a real freed buffer would) so a
+    use-after-free is observable rather than a hard crash.
+    """
 
     name: str
     data: np.ndarray
     device_bytes: int
+    freed: bool = False
 
     def __len__(self) -> int:
         return int(self.data.size)
@@ -58,6 +75,7 @@ class GlobalMemory:
         self.in_use = int(base_usage)
         self.peak = int(base_usage)
         self._arrays: Dict[str, DeviceArray] = {}
+        self._freed: Set[str] = set()
         if base_usage > capacity:
             raise DeviceOutOfMemoryError(base_usage, 0, capacity)
 
@@ -87,16 +105,33 @@ class GlobalMemory:
         self.peak = max(self.peak, self.in_use)
         array = DeviceArray(name, data, device_bytes)
         self._arrays[name] = array
+        # re-allocating a previously freed name starts a fresh lifetime
+        self._freed.discard(name)
         return array
 
     def free(self, name: str) -> None:
-        """Release an allocation (``cudaFree``)."""
-        array = self._arrays.pop(name)
+        """Release an allocation (``cudaFree``).
+
+        Raises:
+            InvalidFreeError: when ``name`` is not live — ``kind`` is
+                ``"double"`` if it was already freed, ``"unknown"`` if
+                it was never allocated.
+        """
+        array = self._arrays.pop(name, None)
+        if array is None:
+            kind = "double" if name in self._freed else "unknown"
+            raise InvalidFreeError(name, kind)
+        array.freed = True
+        self._freed.add(name)
         self.in_use -= array.device_bytes
 
     def get(self, name: str) -> DeviceArray:
         """Look up a live allocation by name."""
         return self._arrays[name]
+
+    def live(self) -> Tuple[str, ...]:
+        """Names of the currently live allocations, oldest first."""
+        return tuple(self._arrays)
 
     def free_all(self) -> None:
         """Release every allocation (end-of-program cleanup)."""

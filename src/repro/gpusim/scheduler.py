@@ -37,6 +37,7 @@ from repro.gpusim.costmodel import BlockTiming, CostModel
 from repro.gpusim.spec import DeviceSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.memtrace.tracker import MemoryTracker
     from repro.sanitize.racecheck import LaunchMonitor
 
 __all__ = ["KernelStats", "run_kernel"]
@@ -98,6 +99,7 @@ def run_kernel(
     seed: int = 0,
     monitor: "LaunchMonitor | None" = None,
     collect_timings: bool = False,
+    memtracker: "MemoryTracker | None" = None,
 ) -> KernelStats:
     """Execute ``kernel_fn`` over a ``grid_dim x block_dim`` launch.
 
@@ -116,6 +118,12 @@ def run_kernel(
     returned stats (``stats.block_timings``) for the profiler; the
     records are produced either way, so collection never perturbs the
     run.
+
+    ``memtracker`` is an optional memory tracker (see
+    :mod:`repro.memtrace`): it is handed to every
+    :class:`~repro.gpusim.context.BlockState` so per-block
+    shared-memory allocations are attributed to the launch.  Tracking
+    never changes costs or scheduling.
     """
     if block_dim % spec.warp_size:
         raise ValueError("block_dim must be a multiple of the warp size")
@@ -123,7 +131,10 @@ def run_kernel(
     warps_per_block = block_dim // spec.warp_size
     rng = np.random.default_rng(seed) if preempt_prob > 0 else None
 
-    blocks = [BlockState(b, warps_per_block, spec) for b in range(grid_dim)]
+    blocks = [
+        BlockState(b, warps_per_block, spec, memtracker=memtracker)
+        for b in range(grid_dim)
+    ]
     queue: deque[_Runner] = deque()
     for block in blocks:
         for w in range(warps_per_block):

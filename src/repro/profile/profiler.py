@@ -97,11 +97,17 @@ class LaunchProfile:
     mem_active_lanes: float = 0.0
     mem_ideal_transactions: float = 0.0
     atomic_cycles: float = 0.0
+    #: ``"simt"`` for real scheduler launches, ``"charge"`` for coarse
+    #: records of labelled :meth:`~repro.gpusim.device.Device.charge`
+    #: calls (the system emulations' logical kernels, which have no
+    #: per-block timings to attribute)
+    source: str = "simt"
 
     def to_json(self) -> Dict[str, Any]:
         """One launch entry of the ``repro.profile/v1`` schema."""
         return {
             "kernel": self.kernel,
+            "source": self.source,
             "index": self.index,
             "round": self.round_index,
             "grid_dim": self.grid_dim,
@@ -173,6 +179,57 @@ class KernelProfiler:
         self._spec, self._cost = spec, cost
         profile = self._profile_launch(
             name, stats, timings, grid_dim, block_dim, spec, cost
+        )
+        self.launches.append(profile)
+        return profile
+
+    def record_charge(
+        self,
+        label: str,
+        cycles: float,
+        launches: int = 0,
+        args: Optional[Dict[str, Any]] = None,
+        spec: Optional[DeviceSpec] = None,
+        cost: Optional[CostModel] = None,
+    ) -> LaunchProfile:
+        """Fold one labelled :meth:`Device.charge` into a coarse record.
+
+        The system emulations book logical-kernel time without SIMT
+        launches, so there are no per-block timings to attribute: the
+        record carries the charged cycles under ``source="charge"``
+        with every roofline term zero (which satisfies the
+        ``repro.profile/v1`` partition invariants trivially — zero busy
+        cycles partition into zero buckets).  It still participates in
+        per-kernel/per-round cycle aggregation, so ``--ncu`` shows
+        where a Gunrock or Medusa run spends its time.
+        """
+        if spec is not None:
+            self._spec = spec
+        if cost is not None:
+            self._cost = cost
+        profile = LaunchProfile(
+            kernel=label,
+            index=len(self.launches),
+            round_index=self._round,
+            grid_dim=0,
+            block_dim=0,
+            cycles=float(cycles),
+            busy_cycles=0.0,
+            compute_cycles=0.0,
+            memory_cycles=0.0,
+            latency_cycles=0.0,
+            barrier_cycles=0.0,
+            bound=PIPELINES[0],
+            dominated={name: 0.0 for name in PIPELINES},
+            sol_pct={
+                "compute": 0.0, "memory": 0.0,
+                "latency": 0.0, "barrier": 0.0,
+            },
+            achieved_occupancy=0.0,
+            divergence_efficiency=1.0,
+            coalescing_efficiency=1.0,
+            atomic_share=0.0,
+            source="charge",
         )
         self.launches.append(profile)
         return profile

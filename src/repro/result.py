@@ -65,6 +65,15 @@ class DecompositionResult:
             ``repro.profile/v1`` record, and
             ``result.profile.write_folded(path)`` exports a flamegraph;
             see the "Profiling" section of ``docs/OBSERVABILITY.md``.
+        memtrace: the :class:`~repro.memtrace.report.MemtraceReport` of
+            the run when memory tracing was enabled (``gpu_peel(...,
+            memtrace=True)``, ``KCoreDecomposer(memtrace=True)`` or CLI
+            ``--memtrace``), else ``None``.
+            ``result.memtrace.breakdown()`` attributes the peak exactly,
+            ``result.memtrace.render()`` prints the allocation timeline,
+            and ``result.memtrace.to_json()`` emits the
+            ``repro.memtrace/v1`` record; see the "Memory telemetry"
+            section of ``docs/OBSERVABILITY.md``.
     """
 
     core: np.ndarray
@@ -78,6 +87,7 @@ class DecompositionResult:
     sanitizer: Any = None
     staticheck: Any = None
     profile: Any = None
+    memtrace: Any = None
 
     def __post_init__(self) -> None:
         core = np.asarray(self.core, dtype=np.int64)

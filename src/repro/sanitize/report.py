@@ -40,6 +40,13 @@ detector                  kind     meaning
                                    cannot fit the device's per-block capacity
 ``uncertified-kernel``    static   a kernel function (or call edge) is not
                                    covered by the certifier's coverage map
+``memory-leak``           memory   a device array was still allocated when
+                                   the traced program finished
+                                   (:mod:`repro.memtrace`)
+``double-free``           memory   ``cudaFree`` of an already-freed (or
+                                   never-allocated) device array
+``use-after-free``        memory   a freed device array was read back to the
+                                   host
 ========================  =======  ==========================================
 """
 
@@ -53,8 +60,9 @@ from repro.errors import SanitizerFindingsError
 
 __all__ = ["SanitizerFinding", "SanitizerReport", "DETECTORS"]
 
-#: every detector name the sanitizer can emit: dynamic, lint, then the
-#: static certifier's (``repro.staticheck``)
+#: every detector name the sanitizer can emit: dynamic, lint, the
+#: static certifier's (``repro.staticheck``), then the memory
+#: tracker's (``repro.memtrace``)
 DETECTORS: Tuple[str, ...] = (
     "shared-race",
     "global-race",
@@ -68,6 +76,9 @@ DETECTORS: Tuple[str, ...] = (
     "static-bound",
     "static-resource",
     "uncertified-kernel",
+    "memory-leak",
+    "double-free",
+    "use-after-free",
 )
 
 

@@ -25,7 +25,13 @@ from repro.core.fastpath import peel_fast
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import Device
 from repro.result import DecompositionResult
-from repro.systems.base import DEFAULT_TUNING, SystemTuning, lint_emulation
+from repro.systems.base import (
+    DEFAULT_TUNING,
+    SystemTuning,
+    finish_emulation,
+    instrument_emulation,
+    lint_emulation,
+)
 
 __all__ = ["gswitch_decompose"]
 
@@ -36,20 +42,32 @@ def gswitch_decompose(
     tuning: SystemTuning = DEFAULT_TUNING,
     time_budget_ms: float | None = None,
     sanitize: bool = False,
+    memtrace: bool = False,
+    profile: bool = False,
 ) -> DecompositionResult:
     """Run the GSWITCH k-core program on the simulated device.
 
     ``sanitize=True`` attaches the static lint report over this
     emulation's source (see :func:`~repro.systems.base.lint_emulation`).
+    ``memtrace=True`` / ``profile=True`` attach the memory-telemetry
+    and charge-profile reports (see
+    :func:`~repro.systems.base.instrument_emulation`).
     """
     device = device or Device(time_budget_ms=time_budget_ms)
+    tracker = instrument_emulation(
+        device, "gswitch", memtrace=memtrace, profile=profile
+    )
     n, m2 = graph.num_vertices, graph.neighbors.size
+    if tracker is not None:
+        tracker.set_scope("gswitch.init")
     device.malloc("gswitch_offsets", graph.offsets)
     device.malloc("gswitch_edges", graph.neighbors)
     device.malloc("gswitch_degrees", n)
     device.malloc(
         "gswitch_frontiers", int(tuning.gswitch_frontier_factor * m2) + 2 * n
     )
+    if tracker is not None:
+        tracker.set_scope(None)
 
     offsets, neighbors = graph.offsets, graph.neighbors
     deg = graph.degrees.astype(np.int64).copy()
@@ -118,6 +136,7 @@ def gswitch_decompose(
         "frontier.peak": float(frontier_peak),
     }
     counters.update(device.counters())
+    memtrace_report, profile_report = finish_emulation(device)
     return DecompositionResult(
         core=core,
         algorithm="gswitch",
@@ -128,4 +147,6 @@ def gswitch_decompose(
         counters=counters,
         trace=tr,
         sanitizer=lint_emulation(__name__) if sanitize else None,
+        profile=profile_report,
+        memtrace=memtrace_report,
     )

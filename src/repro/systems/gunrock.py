@@ -24,7 +24,13 @@ import numpy as np
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import Device
 from repro.result import DecompositionResult
-from repro.systems.base import DEFAULT_TUNING, SystemTuning, lint_emulation
+from repro.systems.base import (
+    DEFAULT_TUNING,
+    SystemTuning,
+    finish_emulation,
+    instrument_emulation,
+    lint_emulation,
+)
 
 __all__ = ["gunrock_decompose"]
 
@@ -35,20 +41,32 @@ def gunrock_decompose(
     tuning: SystemTuning = DEFAULT_TUNING,
     time_budget_ms: float | None = None,
     sanitize: bool = False,
+    memtrace: bool = False,
+    profile: bool = False,
 ) -> DecompositionResult:
     """Run Gunrock's k-core app on the simulated device.
 
     ``sanitize=True`` attaches the static lint report over this
     emulation's source (see :func:`~repro.systems.base.lint_emulation`).
+    ``memtrace=True`` / ``profile=True`` attach the memory-telemetry
+    and charge-profile reports (see
+    :func:`~repro.systems.base.instrument_emulation`).
     """
     device = device or Device(time_budget_ms=time_budget_ms)
+    tracker = instrument_emulation(
+        device, "gunrock", memtrace=memtrace, profile=profile
+    )
     n, m2 = graph.num_vertices, graph.neighbors.size
+    if tracker is not None:
+        tracker.set_scope("gunrock.init")
     device.malloc("gunrock_offsets", graph.offsets)
     device.malloc("gunrock_edges", graph.neighbors)
     device.malloc("gunrock_degrees", n)
     device.malloc(
         "gunrock_frontiers", int(tuning.gunrock_frontier_factor * m2) + 2 * n
     )
+    if tracker is not None:
+        tracker.set_scope(None)
 
     offsets, neighbors = graph.offsets, graph.neighbors
     deg = graph.degrees.astype(np.int64).copy()
@@ -110,6 +128,7 @@ def gunrock_decompose(
         "frontier.total": float(n),
     }
     counters.update(device.counters())
+    memtrace_report, profile_report = finish_emulation(device)
     return DecompositionResult(
         core=core,
         algorithm="gunrock",
@@ -120,4 +139,6 @@ def gunrock_decompose(
         counters=counters,
         trace=tr,
         sanitizer=lint_emulation(__name__) if sanitize else None,
+        profile=profile_report,
+        memtrace=memtrace_report,
     )

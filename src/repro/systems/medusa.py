@@ -28,7 +28,13 @@ from repro.cpu.mpm import mpm_sweep
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import Device
 from repro.result import DecompositionResult
-from repro.systems.base import DEFAULT_TUNING, SystemTuning, lint_emulation
+from repro.systems.base import (
+    DEFAULT_TUNING,
+    SystemTuning,
+    finish_emulation,
+    instrument_emulation,
+    lint_emulation,
+)
 
 __all__ = ["medusa_decompose", "MedusaEngine", "MedusaMPM", "MedusaPeel"]
 
@@ -43,6 +49,9 @@ class MedusaEngine:
         self.device = device
         self.tuning = tuning
         n, m2 = graph.num_vertices, graph.neighbors.size
+        tracker = device.memtracer
+        if tracker is not None:
+            tracker.set_scope("medusa.init")
         # graph + per-edge message machinery (the big allocation)
         device.malloc("medusa_offsets", graph.offsets)
         device.malloc("medusa_edges", graph.neighbors)
@@ -50,6 +59,8 @@ class MedusaEngine:
         device.malloc(
             "medusa_edge_state", int(tuning.medusa_edge_state_factor * m2)
         )
+        if tracker is not None:
+            tracker.set_scope(None)
         self.supersteps = 0
 
     def superstep(self, edge_cycles: float) -> None:
@@ -127,6 +138,8 @@ def medusa_decompose(
     tuning: SystemTuning = DEFAULT_TUNING,
     time_budget_ms: float | None = None,
     sanitize: bool = False,
+    memtrace: bool = False,
+    profile: bool = False,
 ) -> DecompositionResult:
     """Run a Medusa program; ``program`` is ``"peel"`` or ``"mpm"``.
 
@@ -135,8 +148,14 @@ def medusa_decompose(
     runs OOM or exceed one hour in Tables III and V.
     ``sanitize=True`` attaches the static lint report over this
     emulation's source (see :func:`~repro.systems.base.lint_emulation`).
+    ``memtrace=True`` / ``profile=True`` attach the memory-telemetry
+    and charge-profile reports (see
+    :func:`~repro.systems.base.instrument_emulation`).
     """
     device = device or Device(time_budget_ms=time_budget_ms)
+    instrument_emulation(
+        device, f"medusa-{program}", memtrace=memtrace, profile=profile
+    )
     engine = MedusaEngine(graph, device, tuning)
     prog = MedusaMPM() if program == "mpm" else MedusaPeel()
     core = prog.run(engine)
@@ -147,6 +166,7 @@ def medusa_decompose(
         "system.edges_per_superstep": float(graph.neighbors.size),
     }
     counters.update(device.counters())
+    memtrace_report, profile_report = finish_emulation(device)
     return DecompositionResult(
         core=core,
         algorithm=prog.name,
@@ -157,4 +177,6 @@ def medusa_decompose(
         counters=counters,
         trace=device.tracer,
         sanitizer=lint_emulation(__name__) if sanitize else None,
+        profile=profile_report,
+        memtrace=memtrace_report,
     )

@@ -22,7 +22,13 @@ from repro.errors import SimulatedTimeLimitExceeded
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import Device
 from repro.result import DecompositionResult
-from repro.systems.base import DEFAULT_TUNING, SystemTuning, lint_emulation
+from repro.systems.base import (
+    DEFAULT_TUNING,
+    SystemTuning,
+    finish_emulation,
+    instrument_emulation,
+    lint_emulation,
+)
 
 __all__ = ["vetga_decompose", "vetga_load_ms"]
 
@@ -39,6 +45,8 @@ def vetga_decompose(
     time_budget_ms: float | None = None,
     include_load: bool = True,
     sanitize: bool = False,
+    memtrace: bool = False,
+    profile: bool = False,
 ) -> DecompositionResult:
     """Run the vector-primitive peeling algorithm.
 
@@ -46,18 +54,28 @@ def vetga_decompose(
     ``time_budget_ms`` first, reproducing the force-terminated loads.
     ``sanitize=True`` attaches the static lint report over this
     emulation's source (see :func:`~repro.systems.base.lint_emulation`).
+    ``memtrace=True`` / ``profile=True`` attach the memory-telemetry
+    and charge-profile reports (see
+    :func:`~repro.systems.base.instrument_emulation`).
     """
     load_ms = vetga_load_ms(graph, tuning) if include_load else 0.0
     if time_budget_ms is not None and load_ms > time_budget_ms:
         raise SimulatedTimeLimitExceeded(load_ms, time_budget_ms)
     device = device or Device(time_budget_ms=time_budget_ms)
+    tracker = instrument_emulation(
+        device, "vetga", memtrace=memtrace, profile=profile
+    )
     n, m2 = graph.num_vertices, graph.neighbors.size
+    if tracker is not None:
+        tracker.set_scope("vetga.init")
     # graph tensors plus the full-length temporaries of the vector ops
     device.malloc("vetga_offsets", n + 1)
     device.malloc("vetga_edges", m2)
     device.malloc(
         "vetga_temporaries", int(tuning.vetga_tensor_factor * (m2 + 2 * n))
     )
+    if tracker is not None:
+        tracker.set_scope(None)
 
     if load_ms and device.tracer is not None:
         device.tracer.instant("vetga.load", 0.0, cat="system",
@@ -100,6 +118,7 @@ def vetga_decompose(
         "system.load_ms": float(load_ms),
     }
     counters.update(device.counters())
+    memtrace_report, profile_report = finish_emulation(device)
     return DecompositionResult(
         core=core,
         algorithm="vetga",
@@ -110,4 +129,6 @@ def vetga_decompose(
         counters=counters,
         trace=device.tracer,
         sanitizer=lint_emulation(__name__) if sanitize else None,
+        profile=profile_report,
+        memtrace=memtrace_report,
     )

@@ -88,3 +88,50 @@ def test_free_all():
     mem.free_all()
     assert mem.in_use == 0
     assert mem.peak == 80
+
+
+def test_free_unknown_name_raises_typed_error():
+    from repro.errors import InvalidFreeError
+
+    mem = GlobalMemory(capacity=1000)
+    with pytest.raises(InvalidFreeError) as exc:
+        mem.free("never")
+    assert exc.value.name == "never"
+    assert exc.value.kind == "unknown"
+    assert "unknown device array" in str(exc.value)
+
+
+def test_double_free_raises_typed_error():
+    from repro.errors import InvalidFreeError
+
+    mem = GlobalMemory(capacity=1000)
+    mem.malloc("a", 10)
+    mem.free("a")
+    with pytest.raises(InvalidFreeError) as exc:
+        mem.free("a")
+    assert exc.value.kind == "double"
+    assert "double free" in str(exc.value)
+
+
+def test_invalid_free_is_a_device_error_not_keyerror():
+    from repro.errors import DeviceError, InvalidFreeError
+
+    mem = GlobalMemory(capacity=1000)
+    try:
+        mem.free("ghost")
+    except KeyError:  # pragma: no cover - the old, wrong behaviour
+        pytest.fail("free of an unknown name leaked a bare KeyError")
+    except InvalidFreeError as exc:
+        assert isinstance(exc, DeviceError)
+
+
+def test_realloc_after_free_starts_fresh_lifetime():
+    from repro.errors import InvalidFreeError
+
+    mem = GlobalMemory(capacity=1000)
+    mem.malloc("a", 10)
+    mem.free("a")
+    mem.malloc("a", 10)  # same name, new lifetime
+    mem.free("a")  # legal again
+    with pytest.raises(InvalidFreeError):
+        mem.free("a")  # but a second free is still a double free

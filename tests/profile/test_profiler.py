@@ -282,3 +282,46 @@ def test_validator_rejects_impossible_roofline(valid_record):
 
 def test_validator_accepts_the_real_thing(valid_record):
     assert validate_profile(valid_record) == []
+
+
+# -- charge-based records (system emulations) --------------------------------
+
+
+def test_simt_launches_are_flagged_simt(profiled):
+    device, result = profiled
+    assert {p.source for p in result.profile.launches} == {"simt"}
+    assert all("source" in p.to_json() for p in result.profile.launches)
+
+
+def test_record_charge_appends_coarse_record():
+    profiler = KernelProfiler()
+    profiler.record_charge("gunrock.advance", 1234.5, launches=3)
+    (record,) = profiler.launches
+    assert record.source == "charge"
+    assert record.kernel == "gunrock.advance"
+    assert record.cycles == 1234.5
+    assert record.busy_cycles == 0.0
+    assert record.bound == PIPELINES[0]
+    assert record.grid_dim == 0 and record.block_dim == 0
+
+
+def test_system_emulations_profile_via_charge_records():
+    from repro.api import decompose
+
+    graph, _ = fig1_graph()
+    for name in ("gunrock", "gswitch", "medusa-peel", "vetga"):
+        result = decompose(graph, name, profile=True)
+        report = result.profile
+        assert report is not None, name
+        assert report.launches, name
+        assert {p.source for p in report.launches} == {"charge"}, name
+        assert validate_profile(report.to_json()) == [], name
+
+
+def test_charge_labels_name_the_systems_phases():
+    from repro.api import decompose
+
+    graph, _ = fig1_graph()
+    report = decompose(graph, "gunrock", profile=True).profile
+    labels = {p.kernel for p in report.launches}
+    assert any("advance" in label or "filter" in label for label in labels)

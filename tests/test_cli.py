@@ -187,3 +187,46 @@ def test_ncu_unsupported_algorithm(tmp_path, capsys):
     src.write_text("0 1\n1 2\n0 2\n")
     assert main(["--input", str(src), "--algorithm", "bz", "--ncu"]) == 2
     assert "--ncu" in capsys.readouterr().err
+
+
+def test_memtrace_prints_timeline(tmp_path, capsys):
+    src = tmp_path / "g.txt"
+    src.write_text("0 1\n1 2\n0 2\n2 3\n")
+    assert main(["--input", str(src), "--algorithm", "gpu-ours",
+                 "--memtrace"]) == 0
+    out = capsys.readouterr().out
+    assert "Memory telemetry: gpu-ours" in out
+    assert "(context)" in out
+    assert "findings: clean" in out
+
+
+def test_memtrace_writes_valid_report(tmp_path, capsys):
+    from repro.memtrace import validate_memtrace
+
+    src = tmp_path / "g.txt"
+    src.write_text("0 1\n1 2\n0 2\n2 3\n")
+    out = tmp_path / "reports" / "mt.json"
+    assert main(["--input", str(src), "--algorithm", "gpu-sm",
+                 "--memtrace", str(out)]) == 0
+    record = json.loads(out.read_text())
+    assert validate_memtrace(record) == []
+    assert record["algorithm"] == "gpu-sm"
+    assert "wrote memtrace" in capsys.readouterr().out
+
+
+def test_memtrace_works_for_system_emulations(tmp_path, capsys):
+    src = tmp_path / "g.txt"
+    src.write_text("0 1\n1 2\n0 2\n2 3\n")
+    assert main(["--input", str(src), "--algorithm", "gswitch",
+                 "--memtrace"]) == 0
+    out = capsys.readouterr().out
+    assert "Memory telemetry: gswitch" in out
+    assert "gswitch.init" in out
+
+
+def test_memtrace_unsupported_algorithm(tmp_path, capsys):
+    src = tmp_path / "g.txt"
+    src.write_text("0 1\n1 2\n0 2\n")
+    assert main(["--input", str(src), "--algorithm", "bz",
+                 "--memtrace"]) == 2
+    assert "--memtrace" in capsys.readouterr().err
