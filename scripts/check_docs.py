@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""CI gate: the documentation stays wired to the code.
+
+    python scripts/check_docs.py [--verbose]
+
+Two classes of doc rot this catches:
+
+1. **Broken links** — every relative markdown link (``[x](docs/FOO.md)``,
+   ``[y](SIMULATOR.md)``, anchors and ``examples/`` directories
+   included) in the repository's top-level and ``docs/`` markdown
+   pages must resolve to an existing file or directory.
+2. **Phantom CLI flags** — every ``--flag`` a markdown page mentions
+   in an inline-code span or fenced block must be a real flag of
+   ``python -m repro`` (``repro.cli.build_parser``), so examples never
+   drift from the parser.  Long options only; flags of *other* tools
+   (pytest, pip, mypy) are ignored unless the line invokes
+   ``python -m repro``.
+
+Exit status: 0 OK, 1 findings, 2 configuration error (missing file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List, Set
+
+from _bench_common import REPO_ROOT, bootstrap
+
+#: the pages the gate walks (globs, relative to the repo root)
+DOC_GLOBS = ("*.md", "docs/*.md")
+
+#: ``[text](target)`` — target captured without any ``#anchor``
+_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+
+#: ``--long-flag`` tokens on lines that invoke the repro CLI
+_FLAG = re.compile(r"(--[a-z][a-z0-9-]+)")
+_CLI_LINE = re.compile(r"python -m repro\b|^repro\b")
+
+
+def _doc_files() -> List[Path]:
+    files: List[Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(REPO_ROOT.glob(pattern)))
+    if not files:
+        print("error: no markdown files found", file=sys.stderr)
+        raise SystemExit(2)
+    return files
+
+
+def _cli_flags() -> Set[str]:
+    """The long option strings ``python -m repro`` actually accepts."""
+    from repro.cli import build_parser
+
+    flags: Set[str] = set()
+    for action in build_parser()._actions:
+        flags.update(
+            opt for opt in action.option_strings if opt.startswith("--")
+        )
+    return flags
+
+
+def check_links(path: Path, text: str, problems: List[str]) -> int:
+    checked = 0
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if "://" in target or target.startswith("mailto:"):
+            continue  # external URL: out of scope (offline CI)
+        checked += 1
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            line = text[: match.start()].count("\n") + 1
+            rel = path.relative_to(REPO_ROOT)
+            problems.append(f"{rel}:{line}: broken link -> {target}")
+    return checked
+
+
+def check_cli_flags(
+    path: Path, text: str, known: Set[str], problems: List[str]
+) -> int:
+    checked = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not _CLI_LINE.search(line):
+            continue
+        for flag in _FLAG.findall(line):
+            checked += 1
+            if flag not in known:
+                rel = path.relative_to(REPO_ROOT)
+                problems.append(
+                    f"{rel}:{lineno}: unknown repro CLI flag {flag}"
+                )
+    return checked
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--verbose", action="store_true",
+                        help="print per-file check counts")
+    args = parser.parse_args(argv)
+    bootstrap()
+    known_flags = _cli_flags()
+    problems: List[str] = []
+    n_links = n_flags = 0
+    for path in _doc_files():
+        text = path.read_text(encoding="utf-8")
+        links = check_links(path, text, problems)
+        flags = check_cli_flags(path, text, known_flags, problems)
+        n_links += links
+        n_flags += flags
+        if args.verbose:
+            print(f"  {path.relative_to(REPO_ROOT)}: "
+                  f"{links} links, {flags} CLI flags")
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(f"check_docs: OK ({n_links} links, {n_flags} CLI flag "
+          f"mentions across the markdown pages)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ from repro.systems.vetga import vetga_decompose
 
 __all__ = [
     "ALGORITHMS",
+    "ENGINEABLE",
     "MEMTRACEABLE",
     "PROFILABLE",
     "SANITIZABLE",
@@ -139,6 +140,19 @@ STATICHECKABLE: FrozenSet[str] = frozenset(
 PROFILABLE: FrozenSet[str] = frozenset(
     f"gpu-{name}" for name in variant_names()
 ) | frozenset(_SYSTEM_NAMES)
+
+
+#: algorithms whose runner accepts ``engine=...`` (an execution-engine
+#: selection for the SIMT simulator, ``docs/SIMULATOR.md``): the
+#: single- and multi-GPU peeling runners, whose kernels run on a
+#: :class:`~repro.gpusim.device.Device`.  Engines are byte-identical by
+#: contract, so the choice only affects host wall-clock time.  The CPU
+#: baselines, the native fast path and the system emulations take no
+#: engine (the emulations charge logical kernels without executing
+#: SIMT code).
+ENGINEABLE: FrozenSet[str] = frozenset(
+    name for name in ALGORITHMS if name.startswith("gpu-")
+)
 
 
 #: algorithms whose runner accepts ``memtrace=True`` (memory telemetry

@@ -90,13 +90,16 @@ def _validate_trajectory(record: Dict[str, Any]) -> List[str]:
     """Structural check of a ``repro.bench-trajectory/v1`` record.
 
     An entry carries ``cycles`` (the perf gate's per-variant kernel
-    cycles), ``peaks`` (the memory gate's per-program peak bytes), or
-    both — at least one must be present.
+    cycles), ``peaks`` (the memory gate's per-program peak bytes),
+    ``engine_speedup`` (a dated host wall-clock comparison of the
+    execution engines, see ``docs/SIMULATOR.md``), or any combination
+    — at least one must be present.
     """
     errors: List[str] = []
     entries = record.get("records")
     if not isinstance(entries, list):
         return ["records must be a list"]
+    payload_keys = ("cycles", "peaks", "engine_speedup")
     for i, entry in enumerate(entries):
         if not isinstance(entry, dict):
             errors.append(f"records[{i}] must be an object")
@@ -104,8 +107,11 @@ def _validate_trajectory(record: Dict[str, Any]) -> List[str]:
         for key in ("date", "dataset"):
             if not isinstance(entry.get(key), str) or not entry.get(key):
                 errors.append(f"records[{i}].{key} must be a non-empty string")
-        if "cycles" not in entry and "peaks" not in entry:
-            errors.append(f"records[{i}] needs a cycles or peaks object")
+        if not any(key in entry for key in payload_keys):
+            errors.append(
+                f"records[{i}] needs a cycles, peaks or "
+                f"engine_speedup object"
+            )
         for key in ("cycles", "peaks"):
             if key not in entry:
                 continue
@@ -116,6 +122,36 @@ def _validate_trajectory(record: Dict[str, Any]) -> List[str]:
                 errors.append(
                     f"records[{i}].{key} must map programs to numbers"
                 )
+        if "engine_speedup" in entry:
+            es = entry["engine_speedup"]
+            if not isinstance(es, dict):
+                errors.append(
+                    f"records[{i}].engine_speedup must be an object"
+                )
+            else:
+                speedup = es.get("speedup")
+                if not isinstance(speedup, dict) or not speedup or not all(
+                    _is_number(v) for v in speedup.values()
+                ):
+                    errors.append(
+                        f"records[{i}].engine_speedup.speedup must map "
+                        f"variants to numbers"
+                    )
+                if not _is_number(es.get("geomean")):
+                    errors.append(
+                        f"records[{i}].engine_speedup.geomean must be "
+                        f"a number"
+                    )
+                for side in ("reference_ms", "vectorized_ms"):
+                    if side in es and (
+                        not isinstance(es[side], dict) or not all(
+                            _is_number(v) for v in es[side].values()
+                        )
+                    ):
+                        errors.append(
+                            f"records[{i}].engine_speedup.{side} must "
+                            f"map variants to numbers"
+                        )
         if not isinstance(entry.get("ok"), bool):
             errors.append(f"records[{i}].ok must be a boolean")
     return errors

@@ -41,6 +41,13 @@ argument the ``repro.memtrace/v1`` JSON report is written there too.
 Error findings (double-free, use-after-free) make the exit status 1.
 Supported for everything that allocates simulated device memory
 (``repro.api.MEMTRACEABLE``).
+
+``--engine NAME`` selects the simulator execution engine for the
+``gpu-*`` algorithms (``repro.api.ENGINEABLE``): ``reference``,
+``vectorized`` (the default) or ``jit``.  Engines are byte-identical
+by contract — the same simulated milliseconds, counters and memory
+peaks — so the flag only changes host wall-clock time; see
+``docs/SIMULATOR.md``.
 """
 
 from __future__ import annotations
@@ -54,6 +61,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.api import (
+    ENGINEABLE,
     MEMTRACEABLE,
     PROFILABLE,
     SANITIZABLE,
@@ -62,6 +70,7 @@ from repro.api import (
     decompose,
 )
 from repro.graph import datasets
+from repro.gpusim.engine import DEFAULT_ENGINE, available_engines
 from repro.graph.io import read_edgelist
 
 __all__ = ["main", "build_parser"]
@@ -107,6 +116,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--top", type=int, default=0, metavar="N",
         help="print the N vertices with the deepest core numbers",
+    )
+    parser.add_argument(
+        "--engine", choices=available_engines(), default=None,
+        metavar="NAME",
+        help="simulator execution engine for the gpu-* algorithms "
+             f"({', '.join(available_engines())}; default: "
+             f"{DEFAULT_ENGINE}); engines are byte-identical, only "
+             "host wall-clock time differs (see docs/SIMULATOR.md)",
     )
     parser.add_argument(
         "--profile", nargs="?", const="trace.json", default=None,
@@ -242,6 +259,11 @@ def main(argv: Sequence[str] | None = None) -> int:
               f"--ncu (supported: {', '.join(sorted(PROFILABLE))})",
               file=sys.stderr)
         return 2
+    if args.engine is not None and args.algorithm not in ENGINEABLE:
+        print(f"error: algorithm {args.algorithm!r} does not support "
+              f"--engine (supported: {', '.join(sorted(ENGINEABLE))})",
+              file=sys.stderr)
+        return 2
     if args.memtrace is not None and args.algorithm not in MEMTRACEABLE:
         print(f"error: algorithm {args.algorithm!r} does not support "
               f"--memtrace (supported: {', '.join(sorted(MEMTRACEABLE))})",
@@ -258,6 +280,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         graph = read_edgelist(args.input)
 
     run_kwargs = {}
+    if args.engine is not None:
+        run_kwargs["engine"] = args.engine
     if args.sanitize:
         run_kwargs["sanitize"] = True
     if args.staticheck:

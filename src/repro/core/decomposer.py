@@ -56,6 +56,7 @@ from repro.core.host import GpuPeelOptions, gpu_peel
 from repro.core.variants import VariantConfig
 from repro.errors import ReproError
 from repro.gpusim.costmodel import CostModel
+from repro.gpusim.engine import ExecutionEngine
 from repro.gpusim.spec import DeviceSpec
 from repro.graph.csr import CSRGraph
 from repro.obs.tracer import Tracer
@@ -89,6 +90,7 @@ class KCoreDecomposer:
         staticheck: bool = False,
         profile: bool = False,
         memtrace: bool = False,
+        engine: "str | ExecutionEngine | None" = None,
     ) -> None:
         if mode not in _MODES:
             raise ReproError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -102,6 +104,11 @@ class KCoreDecomposer:
         self.staticheck = staticheck
         self.profile = profile
         self.memtrace = memtrace
+        #: execution engine for ``simulate`` mode — ``"reference"``,
+        #: ``"vectorized"`` (default), ``"jit"``, or a prebuilt
+        #: :class:`~repro.gpusim.engine.ExecutionEngine`.  ``fast``
+        #: mode runs no simulator kernels, so the engine is unused.
+        self.engine = engine
 
     def decompose(self, graph: CSRGraph) -> DecompositionResult:
         """Compute the core number of every vertex of ``graph``."""
@@ -162,6 +169,7 @@ class KCoreDecomposer:
             staticheck=self.staticheck,
             profile=self.profile,
             memtrace=self.memtrace,
+            engine=self.engine,
         )
 
     def core_numbers(self, graph: CSRGraph):

@@ -23,12 +23,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.core.fastsim  # noqa: F401  (registers vectorized executors)
 from repro.core.loop_kernel import loop_kernel
 from repro.core.scan_kernel import scan_kernel
 from repro.core.variants import VariantConfig, get_variant
 from repro.errors import ReproError
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.device import Device
+from repro.gpusim.engine import ExecutionEngine
 from repro.gpusim.spec import DeviceSpec
 from repro.graph.csr import CSRGraph
 from repro.obs.tracer import Tracer
@@ -77,6 +79,11 @@ class GpuPeelOptions:
     #: counters, and the peak itself are byte-identical with memory
     #: tracing on or off
     memtrace: bool = False
+    #: execution engine for every kernel launch (``"reference"``,
+    #: ``"vectorized"``, ``"jit"``, or ``None`` for the default); all
+    #: engines produce byte-identical simulated results, so this only
+    #: changes host wall-clock time — see ``docs/SIMULATOR.md``
+    engine: "str | ExecutionEngine | None" = None
 
 
 def gpu_peel(
@@ -91,6 +98,7 @@ def gpu_peel(
     staticheck: bool | None = None,
     profile: bool | None = None,
     memtrace: bool | None = None,
+    engine: "str | ExecutionEngine | None" = None,
 ) -> DecompositionResult:
     """Run the paper's GPU peeling algorithm on the simulator.
 
@@ -128,6 +136,14 @@ def gpu_peel(
             ``options.memtrace`` when given); the
             :class:`~repro.memtrace.report.MemtraceReport` lands on
             ``result.memtrace``.
+        engine: execution engine for every kernel launch (overrides
+            ``options.engine`` when given): ``"reference"``,
+            ``"vectorized"``, ``"jit"``, an
+            :class:`~repro.gpusim.engine.ExecutionEngine` instance, or
+            ``None`` for the default.  Results are byte-identical
+            across engines; only host wall-clock time changes.  Ignored
+            when a pre-built ``device`` is passed — that device keeps
+            its own engine.
 
     Returns:
         A :class:`DecompositionResult` whose ``simulated_ms`` /
@@ -144,6 +160,7 @@ def gpu_peel(
     want_staticheck = opts.staticheck if staticheck is None else staticheck
     want_profile = opts.profile if profile is None else profile
     want_memtrace = opts.memtrace if memtrace is None else memtrace
+    want_engine = opts.engine if engine is None else engine
     if want_staticheck and cfg.ring_buffer:
         raise ReproError(
             "staticheck is not available for ring-buffer variants: a "
@@ -162,6 +179,7 @@ def gpu_peel(
             sanitize=want_sanitize,
             profile=want_profile,
             memtrace=want_memtrace,
+            engine=want_engine,
         )
     else:
         if tracer is not None:
@@ -320,6 +338,9 @@ def gpu_peel(
         "buffer.peak_occupancy": (
             buffer_peak / effective_capacity if effective_capacity else 0.0
         ),
+        # engine attribution: which execution engine produced this run
+        # (a tag, not a measurement — the values are engine-invariant)
+        f"engine.{device.engine.name}": 1.0,
     }
     counters.update(device.counters())
     if tr is not None:
@@ -340,6 +361,7 @@ def gpu_peel(
             "grid_dim": grid_dim,
             "block_dim": spec.default_block_dim,
             "variant": cfg.name,
+            "engine": device.engine.name,
             "frontier_per_round": frontier_per_round,
         },
         counters=counters,

@@ -31,11 +31,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.core.fastsim  # noqa: F401  (registers vectorized executors)
 from repro.core.loop_kernel import loop_kernel
 from repro.core.variants import VariantConfig, get_variant
 from repro.errors import ReproError
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.device import Device
+from repro.gpusim.engine import ExecutionEngine
 from repro.gpusim.spec import DeviceSpec
 from repro.graph.csr import CSRGraph
 from repro.result import DecompositionResult
@@ -82,8 +84,13 @@ def multi_gpu_peel(
     options: MultiGpuOptions | None = None,
     sanitize: bool = False,
     memtrace: bool = False,
+    engine: "str | ExecutionEngine | None" = None,
 ) -> DecompositionResult:
     """Decompose ``graph`` across ``num_devices`` simulated GPUs.
+
+    ``engine`` selects the execution engine every worker device runs
+    its kernels on (see :mod:`repro.gpusim.engine`); engines are
+    byte-identical, so partition results never depend on the choice.
 
     Returns a :class:`DecompositionResult` whose ``simulated_ms`` sums
     the parallel sub-round time (the *slowest* worker each sub-round)
@@ -148,6 +155,7 @@ def multi_gpu_peel(
         Device(
             spec=spec, cost_model=cost_model, sanitizer=sanitizer,
             memtracer=trackers[d] if trackers is not None else None,
+            engine=engine,
         )
         for d in range(num_devices)
     ]
@@ -269,6 +277,7 @@ def multi_gpu_peel(
         peak_memory_bytes=max(d.peak_memory_bytes for d in devices),
         rounds=k,
         stats={
+            "engine": devices[0].engine.name,
             "num_devices": num_devices,
             "sub_rounds": sub_rounds,
             "partition_ranges": ranges,

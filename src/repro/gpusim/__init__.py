@@ -8,12 +8,27 @@ P100 and what it preserves.  Public entry points:
 * :class:`~repro.gpusim.spec.DeviceSpec` — hardware parameters,
 * :class:`~repro.gpusim.costmodel.CostModel` — cycle cost constants,
 * :class:`~repro.gpusim.context.WarpContext` — the API kernels program
-  against (loads, stores, atomics, shared memory, warp primitives).
+  against (loads, stores, atomics, shared memory, warp primitives),
+* :func:`~repro.gpusim.engine.get_engine` /
+  :func:`~repro.gpusim.engine.available_engines` — the pluggable
+  execution engines (``"reference"``, ``"vectorized"``, ``"jit"``);
+  see ``docs/SIMULATOR.md`` for the architecture.
 """
 
 from repro.gpusim.context import BARRIER, STEP, WarpContext
 from repro.gpusim.costmodel import BlockTiming, CostModel
 from repro.gpusim.device import Device
+from repro.gpusim.engine import (
+    DEFAULT_ENGINE,
+    ExecutionEngine,
+    FallbackToReference,
+    JitEngine,
+    ReferenceEngine,
+    VectorizedEngine,
+    available_engines,
+    get_engine,
+    register_vectorized_kernel,
+)
 from repro.gpusim.memory import DeviceArray, GlobalMemory
 from repro.gpusim.scheduler import KernelStats, run_kernel
 from repro.gpusim.spec import DeviceSpec
@@ -24,10 +39,19 @@ __all__ = [
     "WarpContext",
     "BlockTiming",
     "CostModel",
+    "DEFAULT_ENGINE",
     "Device",
     "DeviceArray",
+    "ExecutionEngine",
+    "FallbackToReference",
     "GlobalMemory",
+    "JitEngine",
     "KernelStats",
+    "ReferenceEngine",
+    "VectorizedEngine",
+    "available_engines",
+    "get_engine",
+    "register_vectorized_kernel",
     "run_kernel",
     "DeviceSpec",
 ]

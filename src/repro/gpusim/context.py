@@ -37,6 +37,16 @@ counters.  Counting is unconditional — it is a handful of float adds
 the simulator performs anyway — while trace *events* are emitted only
 when a tracer is installed.
 
+Every individual charge is an integer or quarter-integer (shared
+atomics serialise at ``0.25`` cycles per conflicting lane) of
+magnitude far below 2^50, so accumulated ``issued``/``path``/metric
+totals are *exact* in IEEE doubles and independent of summation
+order.  This is the foundation of the execution-engine byte-identity
+contract (``docs/SIMULATOR.md``): the vectorized engine may bulk-fold
+the very same charges in any grouping and still reproduce these
+totals bit for bit.  Keep new charges on the quarter-integer grid, or
+cross-engine equality breaks.
+
 Sanitizing
 ----------
 

@@ -17,6 +17,21 @@ the quantities the paper's ablation discussion reasons about:
 Block time is the maximum of three pipeline occupancies (issue
 throughput, memory throughput, and the slowest single warp's serial
 path) plus barrier overhead; kernel time is the busiest SM.
+
+Two numeric disciplines keep the model exact across execution engines
+(``docs/SIMULATOR.md``):
+
+* every *per-event* charge a kernel accumulates (instruction counts,
+  load stalls, atomic serialisation) is an integer or quarter-integer,
+  so warp/block totals are exact, order-independent ``float64`` sums —
+  any engine may fold the same charges in any grouping;
+* non-dyadic constants (``mem_transaction_cycles = 0.3``) are only
+  ever applied *once*, to a block's folded totals inside
+  :meth:`CostModel.block_cycles` — never accumulated per event — so
+  they cannot introduce order-dependent rounding either.
+
+When adding constants, keep per-event charges on the quarter-integer
+grid and leave scaling factors to the final combination step.
 """
 
 from __future__ import annotations
@@ -117,6 +132,11 @@ class BlockTiming:
     their cost is already inside ``max_warp_path``/``issued``) that the
     scheduler aggregates into
     :class:`~repro.gpusim.scheduler.KernelStats` for the tracer.
+
+    Every execution engine emits these records — the reference
+    interpreter by accumulating them turn by turn, the vectorized
+    engine by bulk folds that reproduce the same totals bit for bit —
+    so the profiler's per-block attribution is engine-invariant.
     """
 
     #: total warp-instructions issued by all warps of the block

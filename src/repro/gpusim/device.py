@@ -102,8 +102,9 @@ import numpy as np
 
 from repro.errors import InvalidFreeError, SimulatedTimeLimitExceeded
 from repro.gpusim.costmodel import CostModel
+from repro.gpusim.engine import ExecutionEngine, get_engine
 from repro.gpusim.memory import DeviceArray, GlobalMemory
-from repro.gpusim.scheduler import KernelFn, KernelStats, run_kernel
+from repro.gpusim.scheduler import KernelFn, KernelStats
 from repro.gpusim.spec import DeviceSpec
 from repro.obs.tracer import active_tracer
 
@@ -133,10 +134,18 @@ class Device:
         profiler: "KernelProfiler | None" = None,
         memtrace: bool = False,
         memtracer: "MemoryTracker | None" = None,
+        engine: "str | ExecutionEngine | None" = None,
     ) -> None:
         self.spec = spec or DeviceSpec()
         self.spec.validate()
         self.cost_model = cost_model or CostModel()
+        #: the execution engine every :meth:`launch` runs through —
+        #: a name from :func:`repro.gpusim.engine.available_engines`,
+        #: an :class:`~repro.gpusim.engine.ExecutionEngine` instance, or
+        #: ``None`` for the default.  Engines are required to produce
+        #: byte-identical results (see ``docs/SIMULATOR.md``), so the
+        #: choice only changes host wall-clock time.
+        self.engine = get_engine(engine)
         self.memory = GlobalMemory(
             self.spec.global_memory_bytes,
             base_usage=self.spec.context_overhead_bytes,
@@ -283,7 +292,7 @@ class Device:
         mt = self.memtracer
         if mt is not None:
             mt.set_scope(getattr(kernel_fn, "__name__", "kernel"))
-        stats = run_kernel(
+        stats = self.engine.run(
             kernel_fn,
             self.spec,
             self.cost_model,
@@ -318,6 +327,7 @@ class Device:
                 track="device",
                 args={
                     "grid_dim": grid, "block_dim": block,
+                    "engine": self.engine.name,
                     "cycles": stats.cycles, "issued": stats.issued,
                     "mem_transactions": stats.mem_transactions,
                     "barriers": stats.barriers,

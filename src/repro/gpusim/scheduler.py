@@ -21,6 +21,23 @@ roofline cost model combines them into kernel cycles, and the whole
 launch is summarised as a :class:`KernelStats` — the record the
 device-level tracer hook (:mod:`repro.obs`) attaches to each kernel
 span.
+
+This interpreter is the ``reference`` execution engine
+(:mod:`repro.gpusim.engine`): the semantic ground truth every other
+engine must match byte for byte.  Two scheduling invariants of the
+single FIFO are load-bearing for that contract (the ``vectorized``
+engine's phase-locked replay is *proved* against them, see
+``docs/SIMULATOR.md``):
+
+* a barrier release re-queues the whole block atomically and in warp
+  order (``_release_if_complete`` extends the queue in ``waiting``
+  arrival order), so a block's warps stay contiguous in the queue;
+* ``STEP`` re-appends to the tail, so blocks advance through their
+  barrier-delimited phases in lockstep, in stable block order.
+
+Change the queueing discipline and the replay's assumptions break —
+the cross-engine property suite (``tests/properties/test_engines.py``)
+will catch it.
 """
 
 from __future__ import annotations
@@ -106,6 +123,11 @@ def run_kernel(
     ``kernel_fn(ctx, *args, **kwargs)`` must be a generator function;
     it is instantiated once per warp.  Returns the kernel's
     :class:`KernelStats` under the given cost model.
+
+    Callers normally go through
+    :meth:`~repro.gpusim.device.Device.launch`, which routes through
+    the device's execution engine; this function *is* the
+    ``reference`` engine and the fallback target of the others.
 
     ``monitor`` is an optional racecheck shadow logger (see
     :mod:`repro.sanitize.racecheck`): it is threaded into every warp
