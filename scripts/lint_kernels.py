@@ -11,8 +11,9 @@ runs).  Explicit paths may be files or directories of ``.py`` sources;
 repeated or overlapping arguments (a file given twice, or a file plus a
 directory containing it) are deduplicated so each module is linted — and
 reported — once.  ``--json FILE`` additionally dumps the
-:class:`~repro.sanitize.report.SanitizerReport` as a JSON artifact for
-CI upload; it does not change the exit status.
+:class:`~repro.sanitize.report.SanitizerReport` as a
+``repro.findings/v1`` artifact for CI upload; it does not change the
+exit status.
 
 Exit status 0 when every kernel is clean, 1 when any detector fired.
 The rules (illegal yields, wall clock, RNG, host-array mutation,
@@ -27,8 +28,11 @@ import argparse
 import sys
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parents[1]
-sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _bench_common import bootstrap, write_findings  # noqa: E402
+
+bootstrap()
 
 from repro.sanitize.lint import default_kernel_paths, lint_paths  # noqa: E402
 
@@ -68,7 +72,7 @@ def main(argv: list[str]) -> int:
     )
     parser.add_argument(
         "--json", metavar="FILE", default=None,
-        help="also write the SanitizerReport as JSON here (CI artifact)",
+        help="also write a repro.findings/v1 artifact here (CI upload)",
     )
     args = parser.parse_args(argv)
     if args.paths:
@@ -80,7 +84,7 @@ def main(argv: list[str]) -> int:
     report = lint_paths(paths)
     print(report.summary())
     if args.json:
-        Path(args.json).write_text(report.to_json() + "\n", encoding="utf-8")
+        write_findings(args.json, "lint_kernels", report)
         print(f"wrote JSON report to {args.json}")
     return 0 if report.clean else 1
 

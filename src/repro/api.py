@@ -33,6 +33,7 @@ __all__ = [
     "ENGINEABLE",
     "MEMTRACEABLE",
     "PROFILABLE",
+    "DATAFLOWABLE",
     "SANITIZABLE",
     "STATICHECKABLE",
     "algorithm_names",
@@ -125,6 +126,17 @@ SANITIZABLE: FrozenSet[str] = frozenset(
 #: baselines launch no SIMT kernels, and the multi-GPU runner composes
 #: per-device runs the checker does not yet model.
 STATICHECKABLE: FrozenSet[str] = frozenset(
+    f"gpu-{name}" for name in variant_names()
+)
+
+
+#: algorithms whose runner accepts ``dataflow=True`` (the static
+#: dataflow analyzer's launch checker, :mod:`repro.staticheck.dataflow`):
+#: the single-GPU peeling variants, whose two kernels the abstract
+#: interpreter covers.  Unlike ``staticheck`` the dataflow tier also
+#: accepts ring-buffer configs — their undischargeable race obligations
+#: surface as explicit ``unproven-race-freedom`` warnings.
+DATAFLOWABLE: FrozenSet[str] = frozenset(
     f"gpu-{name}" for name in variant_names()
 )
 

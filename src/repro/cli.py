@@ -22,6 +22,15 @@ graph and a ``gpu-*`` algorithm it additionally runs the differential
 checker — every launch's measured stats are asserted against the
 certificate — and prints that report; error findings exit 1.
 
+``--dataflow`` engages the static dataflow analyzer (the second tier
+of ``docs/STATIC_ANALYSIS.md``).  On its own (no input) it prints the
+race-freedom certificates, divergence/coalescing brackets and engine
+preconditions of every kernel variant; explicit unproven obligations
+exit 1.  Combined with a graph and a ``gpu-*`` algorithm it checks
+every launch against the certificates — the measured efficiency must
+fall inside the static bracket and the serving engine tier must match
+the static prediction — and prints that report; error findings exit 1.
+
 ``--ncu [FILE]`` profiles the run with the kernel profiler (see
 :mod:`repro.profile` and the "Profiling" section of
 ``docs/OBSERVABILITY.md``) and prints an Nsight-Compute-style
@@ -61,6 +70,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.api import (
+    DATAFLOWABLE,
     ENGINEABLE,
     MEMTRACEABLE,
     PROFILABLE,
@@ -157,6 +167,14 @@ def build_parser() -> argparse.ArgumentParser:
              "check every launch against its certificate (differential "
              "check); error findings exit 1",
     )
+    parser.add_argument(
+        "--dataflow", action="store_true",
+        help="print the dataflow certificates (race-freedom proofs, "
+             "divergence/coalescing brackets, engine preconditions) of "
+             "every kernel variant; with an input graph and a gpu-* "
+             "algorithm, also check every launch against them; error "
+             "findings exit 1",
+    )
     return parser
 
 
@@ -218,6 +236,26 @@ def _print_certificates() -> int:
     return 0
 
 
+def _print_dataflow_certificates() -> int:
+    """The standalone ``--dataflow`` listing; exit 1 on unproven pairs."""
+    from repro.core.variants import EXTENSION_VARIANTS, VARIANTS
+    from repro.staticheck.dataflow import (
+        analyze_kernel, render_dataflow_certificates,
+    )
+
+    print(render_dataflow_certificates())
+    unproven = sum(
+        len(analyze_kernel(kernel, name).unproven)
+        for name in [*VARIANTS, *EXTENSION_VARIANTS]
+        for kernel in ("scan_kernel", "loop_kernel")
+    )
+    if unproven:
+        print(f"\ndataflow: {unproven} unproven race obligation(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -225,9 +263,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             or args.list_algorithms):
         if args.staticheck:
             return _print_certificates()
+        if args.dataflow:
+            return _print_dataflow_certificates()
         parser.error(
             "one of --input/--dataset/--list-datasets/--list-algorithms "
-            "is required (or bare --staticheck for the certificate dump)"
+            "is required (or bare --staticheck/--dataflow for the "
+            "certificate dumps)"
         )
     if args.list_datasets:
         for name in datasets.dataset_names():
@@ -252,6 +293,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: algorithm {args.algorithm!r} does not support "
               f"--staticheck (supported: "
               f"{', '.join(sorted(STATICHECKABLE))})",
+              file=sys.stderr)
+        return 2
+    if args.dataflow and args.algorithm not in DATAFLOWABLE:
+        print(f"error: algorithm {args.algorithm!r} does not support "
+              f"--dataflow (supported: "
+              f"{', '.join(sorted(DATAFLOWABLE))})",
               file=sys.stderr)
         return 2
     if args.ncu is not None and args.algorithm not in PROFILABLE:
@@ -286,6 +333,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         run_kwargs["sanitize"] = True
     if args.staticheck:
         run_kwargs["staticheck"] = True
+    if args.dataflow:
+        run_kwargs["dataflow"] = True
     if args.ncu is not None:
         run_kwargs["profile"] = True
     if args.memtrace is not None:
@@ -327,7 +376,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(report.summary())
         if report.errors:
             return 1
-    if args.staticheck:
+    if args.staticheck or args.dataflow:
         report = result.staticheck
         if report is None:
             print("staticheck: no report produced", file=sys.stderr)

@@ -51,6 +51,8 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
+
 from repro.core.fastpath import fast_decompose
 from repro.core.host import GpuPeelOptions, gpu_peel
 from repro.core.variants import VariantConfig
@@ -172,6 +174,6 @@ class KCoreDecomposer:
             engine=self.engine,
         )
 
-    def core_numbers(self, graph: CSRGraph):
+    def core_numbers(self, graph: CSRGraph) -> np.ndarray:
         """Convenience: just the core-number array."""
         return self.decompose(graph).core

@@ -20,6 +20,7 @@ sample — the per-round decay Perfetto plots directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -35,6 +36,9 @@ from repro.gpusim.spec import DeviceSpec
 from repro.graph.csr import CSRGraph
 from repro.obs.tracer import Tracer
 from repro.result import DecompositionResult
+
+if TYPE_CHECKING:
+    from repro.sanitize.report import SanitizerReport
 
 __all__ = ["gpu_peel", "GpuPeelOptions"]
 
@@ -65,6 +69,15 @@ class GpuPeelOptions:
     #: ``result.staticheck`` (``docs/STATIC_ANALYSIS.md``); like
     #: ``sanitize``, costs host time only — simulated time is unchanged
     staticheck: bool = False
+    #: run the static dataflow analyzer (lane-uniformity abstract
+    #: interpretation, :mod:`repro.staticheck.dataflow`) over both
+    #: kernels for the chosen variant and check every launch against
+    #: its certificates — race-freedom obligations, the
+    #: divergence/coalescing bracket, and the engine-precondition
+    #: prediction against ``KernelStats.served_by``.  Findings land on
+    #: ``result.staticheck`` (merged with the differential checker's
+    #: when both are enabled); host time only, simulated time unchanged
+    dataflow: bool = False
     #: profile every launch (speed-of-light bound attribution, see
     #: :mod:`repro.profile`) and attach the
     #: :class:`~repro.profile.report.ProfileReport` to
@@ -96,6 +109,7 @@ def gpu_peel(
     tracer: Tracer | None = None,
     sanitize: bool | None = None,
     staticheck: bool | None = None,
+    dataflow: bool | None = None,
     profile: bool | None = None,
     memtrace: bool | None = None,
     engine: "str | ExecutionEngine | None" = None,
@@ -126,6 +140,14 @@ def gpu_peel(
             differential checker's report lands on
             ``result.staticheck``.  Not available for ring-buffer
             variants, whose buffers have no static slot bound.
+        dataflow: check every launch against the static dataflow
+            certificates (overrides ``options.dataflow`` when given):
+            race-freedom proofs/obligations, the divergence/coalescing
+            bracket, and the engine-precondition tier prediction (see
+            :mod:`repro.staticheck.dataflow`).  Findings merge into
+            ``result.staticheck``.  Unlike ``staticheck`` this *is*
+            available for ring-buffer variants — their undischarged
+            obligations surface as ``unproven-race-freedom`` warnings.
         profile: collect a speed-of-light profile of every launch
             (overrides ``options.profile`` when given); the
             :class:`~repro.profile.report.ProfileReport` — per-launch
@@ -158,6 +180,7 @@ def gpu_peel(
     cfg = chosen if isinstance(chosen, VariantConfig) else get_variant(chosen)
     want_sanitize = opts.sanitize if sanitize is None else sanitize
     want_staticheck = opts.staticheck if staticheck is None else staticheck
+    want_dataflow = opts.dataflow if dataflow is None else dataflow
     want_profile = opts.profile if profile is None else profile
     want_memtrace = opts.memtrace if memtrace is None else memtrace
     want_engine = opts.engine if engine is None else engine
@@ -222,6 +245,26 @@ def gpu_peel(
             cfg, spec, n, len(graph.neighbors), graph.max_degree,
             buffer_capacity=opts.buffer_capacity,
         )
+    dflow = None
+    if want_dataflow:
+        from repro.staticheck.dataflow import DataflowChecker
+
+        dflow = DataflowChecker(
+            cfg,
+            engine=device.engine.name,
+            monitored=device.sanitizer is not None,
+            preempt_prob=opts.preempt_prob,
+        )
+
+    def _static_report() -> "SanitizerReport | None":
+        if checker is None and dflow is None:
+            return None
+        if checker is None:
+            return dflow.report
+        if dflow is not None:
+            checker.report.merge(dflow.report)
+        return checker.report
+
     if n == 0:
         if memtracer is not None:
             memtracer.finish(device.elapsed_ms)
@@ -232,7 +275,7 @@ def gpu_peel(
                 device.sanitizer.report
                 if device.sanitizer is not None else None
             ),
-            staticheck=checker.report if checker is not None else None,
+            staticheck=_static_report(),
             profile=(
                 profiler.report() if profiler is not None else None
             ),
@@ -287,6 +330,8 @@ def gpu_peel(
         )  # Line 6
         if checker is not None:
             checker.observe("scan_kernel", stats)
+        if dflow is not None:
+            dflow.observe("scan_kernel", stats)
         scan_cycles += stats.cycles
         if stats.buffer_peak > buffer_peak:
             buffer_peak = stats.buffer_peak
@@ -299,6 +344,8 @@ def gpu_peel(
         )  # Line 7
         if checker is not None:
             checker.observe("loop_kernel", stats)
+        if dflow is not None:
+            dflow.observe("loop_kernel", stats)
         loop_cycles += stats.cycles
         if stats.buffer_peak > buffer_peak:
             buffer_peak = stats.buffer_peak
@@ -369,7 +416,7 @@ def gpu_peel(
         sanitizer=(
             device.sanitizer.report if device.sanitizer is not None else None
         ),
-        staticheck=checker.report if checker is not None else None,
+        staticheck=_static_report(),
         profile=profiler.report() if profiler is not None else None,
         memtrace=memtracer.report() if memtracer is not None else None,
     )

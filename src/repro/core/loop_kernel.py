@@ -24,6 +24,8 @@ span argument, and buffer appends drive the ``buffer_peak`` watermark.
 
 from __future__ import annotations
 
+from typing import Generator
+
 import numpy as np
 
 from repro.core.buffers import BlockBufferView
@@ -40,10 +42,10 @@ __all__ = ["loop_kernel"]
 #: fails an ``uncertified-kernel`` finding otherwise.
 __staticheck__ = {
     "loop_kernel": "repro.staticheck.bounds.loop_bounds (entry point)",
-    "_drain": "P+2 iteration bound, 2 barriers/iteration",
-    "_drain_virtual": "P+2 iterations, ceil(dmax/(S/vw)) sweep trips",
+    "_drain": "min(P,n)+2 iteration bound, 2 barriers/iteration",
+    "_drain_virtual": "min(P,n)+2 iterations, ceil(dmax/(S/vw)) sweep trips",
     "_process_vertices_virtual": "11 issued per virtual sweep trip",
-    "_drain_prefetched": "2P+3 iteration bound, 3 barriers/iteration",
+    "_drain_prefetched": "2*min(P,n)+3 iteration bound, 3 barriers/iteration",
     "_process_vertex": "sweep-trip constants: 9 base + append",
     "_append": "append constants: none=2, ballot=7, block=15 (+6 SM)",
 }
@@ -62,7 +64,7 @@ def loop_kernel(
     shared_capacity: int,
     cfg: VariantConfig,
     own_range: tuple[int, int] | None = None,
-):
+) -> Generator[str, None, None]:
     """Kernel ``loop(k)``: drain the k-shell by parallel BFS.
 
     ``own_range=(lo, hi)`` restricts buffer *appends* to vertices this
@@ -112,7 +114,7 @@ def _drain(
     deg: DeviceArray,
     cfg: VariantConfig,
     own_range: tuple[int, int] | None = None,
-):
+) -> Generator[str, None, None]:
     """Lines 3-24: the basic per-warp fetch loop (also used by SM)."""
     while True:  # Line 3
         yield ctx.BARRIER  # Line 4
@@ -144,7 +146,7 @@ def _drain_virtual(
     deg: DeviceArray,
     cfg: VariantConfig,
     own_range: tuple[int, int] | None = None,
-):
+) -> Generator[str, None, None]:
     """Virtual warping (Section III): each physical warp runs ``vw``
     logical warps of ``32 / vw`` lanes, so it fetches and processes
     ``vw`` frontier vertices per block iteration.  Low-degree vertices
@@ -186,7 +188,7 @@ def _process_vertices_virtual(
     neighbors: DeviceArray,
     deg: DeviceArray,
     own_range: tuple[int, int] | None = None,
-):
+) -> Generator[str, None, None]:
     """Lines 13-24 for ``len(batch)`` vertices in lockstep: logical
     warp ``j`` sweeps ``batch[j]``'s adjacency list with ``lane_width``
     lanes; the physical warp's trip count is the *maximum* over its
@@ -242,7 +244,7 @@ def _drain_prefetched(
     deg: DeviceArray,
     cfg: VariantConfig,
     own_range: tuple[int, int] | None = None,
-):
+) -> Generator[str, None, None]:
     """The VP pipeline: Warp 0 fetches the next frontier batch into the
     shared arrays while warps ``1..W-1`` process the previous batch.
 
@@ -300,7 +302,7 @@ def _process_vertex(
     deg: DeviceArray,
     cfg: VariantConfig,
     own_range: tuple[int, int] | None = None,
-):
+) -> Generator[str, None, None]:
     """Lines 13-24: the 32 lanes sweep ``v``'s adjacency list."""
     # partitioned workers store only their own slice of the CSR arrays,
     # indexed from own_range[0]

@@ -28,6 +28,7 @@ The implementation follows that sketch exactly:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -41,6 +42,9 @@ from repro.gpusim.engine import ExecutionEngine
 from repro.gpusim.spec import DeviceSpec
 from repro.graph.csr import CSRGraph
 from repro.result import DecompositionResult
+
+if TYPE_CHECKING:
+    from repro.memtrace.report import MemtraceReport
 
 __all__ = ["multi_gpu_peel", "partition_ranges", "MultiGpuOptions"]
 
@@ -129,7 +133,7 @@ def multi_gpu_peel(
         for mt in trackers:
             mt.annotate(variant=cfg.name, algorithm=algorithm)
 
-    def _memtrace_report():
+    def _memtrace_report() -> "MemtraceReport | None":
         if trackers is None:
             return None
         from repro.memtrace.report import MemtraceReport

@@ -22,6 +22,8 @@ with cycles, memory transactions, barriers and atomic conflicts.
 
 from __future__ import annotations
 
+from typing import Generator
+
 import numpy as np
 
 from repro.core.buffers import BlockBufferView
@@ -58,7 +60,7 @@ def scan_kernel(
     capacity: int,
     cfg: VariantConfig,
     vertex_lo: int = 0,
-):
+) -> Generator[str, None, None]:
     """Kernel ``scan(k)``: collect initial k-shell vertices per block.
 
     ``vertex_lo``/``num_vertices`` bound the scanned ID range
@@ -112,7 +114,7 @@ def _scan_strided(
     stride: int,
     base: int,
     cfg: VariantConfig,
-):
+) -> Generator[str, None, None]:
     """Lines 3-9 with per-lane atomic appends (Ours) or BC compaction."""
     for s in range(base, num_vertices, stride):
         flags, hits = _hit_flags(ctx, k, deg, s, num_vertices)
@@ -144,7 +146,7 @@ def _scan_block_compaction(
     num_vertices: int,
     stride: int,
     base: int,
-):
+) -> Generator[str, None, None]:
     """Lines 3-9 with the four-stage intra-block compaction (Fig. 9).
 
     Every warp must make the same number of trips so the per-trip

@@ -403,10 +403,14 @@ class Device:
         """Flat device-level metrics over every launch so far.
 
         Computed on demand from the launch log (so it is available with
-        tracing off too); keys match the tracer's ``device.*`` counters.
+        tracing off too); keys match the tracer's ``device.*`` counters,
+        plus the per-launch serving attribution ``engine.served.<tier>``
+        (how many launches each engine tier actually executed — a
+        vectorized engine's structural fallbacks show up under
+        ``engine.served.reference``).
         """
         log = self.launch_log
-        return {
+        counters = {
             "device.kernel_launches": float(self.kernel_launches),
             "device.cycles": float(self.total_cycles),
             "device.mem_transactions": float(
@@ -417,6 +421,10 @@ class Device:
                 sum(s.atomic_conflicts for s in log)
             ),
         }
+        for stats in log:
+            key = f"engine.served.{stats.served_by}"
+            counters[key] = counters.get(key, 0.0) + 1.0
+        return counters
 
     def _check_budget(self) -> None:
         if self.time_budget_ms is not None and self.elapsed_ms > self.time_budget_ms:

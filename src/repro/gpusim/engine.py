@@ -56,6 +56,7 @@ test per hook — the same discipline as the tracer.
 
 from __future__ import annotations
 
+import dataclasses
 import importlib
 import importlib.util
 from dataclasses import dataclass, field
@@ -263,7 +264,10 @@ class VectorizedEngine(ReferenceEngine):
             use_jit=self._use_jit,
         )
         try:
-            return impl(launch)
+            stats = impl(launch)
+            # per-launch serving attribution (metric-only): fallback
+            # paths inherit the interpreter's "reference" stamp
+            return dataclasses.replace(stats, served_by=self.name)
         except FallbackToReference:
             return super().run(
                 kernel_fn, spec, cost, grid_dim, block_dim,

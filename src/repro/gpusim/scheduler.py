@@ -77,6 +77,17 @@ class KernelStats:
     :class:`~repro.gpusim.costmodel.BlockTiming` records when the
     launch ran with ``collect_timings=True`` (a profiler was attached);
     it is ``None`` otherwise and never influences simulated time.
+
+    ``served_by`` names the engine tier that actually executed the
+    launch: ``"reference"`` for the interpreter (this module), or the
+    engine name (``"vectorized"``/``"jit"``) when a registered batched
+    executor served it.  A vectorized engine that routes a launch to
+    the interpreter — structural fallback, attached monitor, preemption
+    — leaves the field at ``"reference"``, which is how the
+    per-launch attribution (``engine.served.<tier>`` counters, the
+    static engine-precondition checker of
+    :mod:`repro.staticheck.dataflow`) observes the routing decision.
+    Metric-only: never influences simulated results.
     """
 
     cycles: float
@@ -91,6 +102,7 @@ class KernelStats:
     mem_active_lanes: float = 0.0
     mem_ideal_transactions: float = 0.0
     block_timings: "tuple[BlockTiming, ...] | None" = None
+    served_by: str = "reference"
 
     def milliseconds(self, cost: CostModel) -> float:
         """Kernel duration in simulated milliseconds (device time only)."""

@@ -50,11 +50,14 @@ class DecompositionResult:
             ``--sanitize``), else ``None``.  ``result.sanitizer.clean``
             is True when no detector fired; see ``docs/SANITIZER.md``.
         staticheck: the :class:`~repro.sanitize.report.SanitizerReport`
-            of the static-certificate differential checker when the run
-            was certified (``gpu_peel(..., staticheck=True)`` or CLI
-            ``--staticheck``), else ``None``.  Findings use the
-            ``static-bound`` / ``static-resource`` /
-            ``uncertified-kernel`` detectors; see
+            of the static analyzers when the run was certified
+            (``gpu_peel(..., staticheck=True)`` / ``dataflow=True`` or
+            CLI ``--staticheck`` / ``--dataflow``), else ``None``.  The
+            resource tier's findings use the ``static-bound`` /
+            ``static-resource`` / ``uncertified-kernel`` detectors; the
+            dataflow tier's use ``unproven-race-freedom`` /
+            ``divergence-bound`` / ``engine-precondition``.  Both tiers
+            merge into this one report when enabled together; see
             ``docs/STATIC_ANALYSIS.md``.
         profile: the :class:`~repro.profile.report.ProfileReport` of the
             run when profiling was enabled (``gpu_peel(...,

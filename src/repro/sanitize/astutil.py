@@ -1,0 +1,100 @@
+"""Shared AST helpers for the static analysis passes.
+
+Three passes walk kernel ASTs — the lint rules in
+:mod:`repro.sanitize.lint`, the site-inventory pass in
+:mod:`repro.staticheck.absint`, and the dataflow interpreter in
+:mod:`repro.staticheck.dataflow`.  They agree on a handful of
+syntactic questions ("what does this attribute chain spell?", "is this
+statement a barrier yield?"); this module is the single answer so the
+passes cannot drift apart.
+
+All helpers are pure functions over :mod:`ast` nodes; none import
+simulator state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence
+
+__all__ = [
+    "SENTINELS",
+    "WARP_NAMES",
+    "dotted",
+    "iter_own_scope",
+    "mentions",
+    "is_sentinel_yield",
+    "yields_barrier",
+]
+
+#: the only tokens a kernel generator may yield (``ctx.BARRIER`` ends a
+#: barrier epoch; ``ctx.STEP`` is a plain scheduling point)
+SENTINELS = ("BARRIER", "STEP")
+
+#: names whose appearance in a branch test marks it warp-dependent:
+#: lanes of a warp (or warps of a block) no longer advance uniformly
+#: past such a test
+WARP_NAMES = ("warp_id", "global_warp_id", "lanes", "should_preempt")
+
+
+def dotted(node: ast.AST) -> Optional[str]:
+    """``"a.b.c"`` for an attribute chain rooted at a Name, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_own_scope(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root``'s body without descending into nested functions."""
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+        ):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def mentions(node: ast.AST, names: Sequence[str]) -> bool:
+    """True when any Name or Attribute leaf in ``node`` is in ``names``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr in names:
+            return True
+        if isinstance(sub, ast.Name) and sub.id in names:
+            return True
+    return False
+
+
+def is_sentinel_yield(value: Optional[ast.AST], ctx_name: str) -> bool:
+    """True when a yielded value is ``ctx.BARRIER``/``ctx.STEP`` (or the
+    bare module-level ``BARRIER``/``STEP`` sentinels)."""
+    if isinstance(value, ast.Attribute):
+        return (
+            isinstance(value.value, ast.Name)
+            and value.value.id == ctx_name
+            and value.attr in SENTINELS
+        )
+    if isinstance(value, ast.Name):
+        return value.id in SENTINELS
+    return False
+
+
+def yields_barrier(stmt: ast.stmt, ctx_name: str) -> bool:
+    """True for a statement-level ``yield ctx.BARRIER`` (or ``BARRIER``)."""
+    if not (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Yield)):
+        return False
+    value = stmt.value.value
+    if isinstance(value, ast.Attribute):
+        return (
+            isinstance(value.value, ast.Name)
+            and value.value.id == ctx_name
+            and value.attr == "BARRIER"
+        )
+    return isinstance(value, ast.Name) and value.id == "BARRIER"

@@ -46,6 +46,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.sanitize.astutil import (
+    WARP_NAMES as _WARP_NAMES,
+    dotted as _dotted,
+    is_sentinel_yield as _is_sentinel_yield,
+    iter_own_scope as _iter_own_scope,
+    yields_barrier as _yields_barrier,
+)
 from repro.sanitize.report import SanitizerFinding, SanitizerReport
 
 __all__ = [
@@ -57,69 +64,12 @@ __all__ = [
     "lint_repo",
 ]
 
-#: the only tokens a kernel generator may yield
-_SENTINELS = ("BARRIER", "STEP")
-
 #: ``ctx`` attributes that read / write / atomically update shared memory
 _SHARED_READS = ("smem_get", "sload")
 _SHARED_WRITES = ("smem_set", "sstore")
 
-#: names whose appearance in an ``if`` test marks it warp-dependent
-_WARP_NAMES = ("warp_id", "global_warp_id", "lanes", "should_preempt")
-
 #: magic comment that exempts a line from lint findings
 _SUPPRESS_MARK = "# sanitize: ok"
-
-
-def _dotted(node: ast.AST) -> Optional[str]:
-    """``a.b.c`` for an attribute chain rooted at a Name, else None."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def _iter_own_scope(root: ast.AST):
-    """Walk ``root``'s body without descending into nested functions."""
-    stack = list(ast.iter_child_nodes(root))
-    while stack:
-        node = stack.pop()
-        yield node
-        if not isinstance(
-            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
-                   ast.ClassDef)
-        ):
-            stack.extend(ast.iter_child_nodes(node))
-
-
-def _is_sentinel_yield(value: Optional[ast.AST], ctx_name: str) -> bool:
-    if isinstance(value, ast.Attribute):
-        return (
-            isinstance(value.value, ast.Name)
-            and value.value.id == ctx_name
-            and value.attr in _SENTINELS
-        )
-    if isinstance(value, ast.Name):
-        return value.id in _SENTINELS
-    return False
-
-
-def _yields_barrier(stmt: ast.stmt, ctx_name: str) -> bool:
-    """True for a statement-level ``yield ctx.BARRIER`` (or ``BARRIER``)."""
-    if not (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Yield)):
-        return False
-    value = stmt.value.value
-    if isinstance(value, ast.Attribute):
-        return (
-            isinstance(value.value, ast.Name)
-            and value.value.id == ctx_name
-            and value.attr == "BARRIER"
-        )
-    return isinstance(value, ast.Name) and value.id == "BARRIER"
 
 
 @dataclass

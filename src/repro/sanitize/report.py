@@ -40,6 +40,16 @@ detector                  kind     meaning
                                    cannot fit the device's per-block capacity
 ``uncertified-kernel``    static   a kernel function (or call edge) is not
                                    covered by the certifier's coverage map
+``unproven-race-freedom`` static   the dataflow interpreter could not
+                                   discharge a conflicting access pair —
+                                   absence of a proof, not presence of a race
+                                   (:mod:`repro.staticheck.dataflow`)
+``divergence-bound``      static   a launch's measured divergence or
+                                   coalescing efficiency escaped the static
+                                   bracket the dataflow certificate predicts
+``engine-precondition``   static   a launch was served by an execution-engine
+                                   tier other than the one the static
+                                   precondition analysis proved it must use
 ``memory-leak``           memory   a device array was still allocated when
                                    the traced program finished
                                    (:mod:`repro.memtrace`)
@@ -76,6 +86,9 @@ DETECTORS: Tuple[str, ...] = (
     "static-bound",
     "static-resource",
     "uncertified-kernel",
+    "unproven-race-freedom",
+    "divergence-bound",
+    "engine-precondition",
     "memory-leak",
     "double-free",
     "use-after-free",

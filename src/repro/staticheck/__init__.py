@@ -20,7 +20,12 @@ Package layout:
 * :mod:`~repro.staticheck.bounds` — the closed-form bounds per kernel
   x variant and the variant-reachability table;
 * :mod:`~repro.staticheck.certificate` — certificate assembly;
-* :mod:`~repro.staticheck.differential` — the launch-time checker.
+* :mod:`~repro.staticheck.differential` — the launch-time checker;
+* :mod:`~repro.staticheck.dataflow` — the dataflow tier:
+  lane-uniformity abstract interpretation, barrier-epoch race-freedom
+  certificates, divergence/coalescing brackets, and the static engine
+  precondition analysis (with :mod:`~repro.staticheck.fixtures`
+  holding the known-bad detector self-test inputs).
 """
 
 from repro.staticheck.absint import (
@@ -57,6 +62,21 @@ from repro.staticheck.certificate import (
     render_certificates,
     verify_inventories,
 )
+from repro.staticheck.dataflow import (
+    DataflowCertificate,
+    DataflowChecker,
+    EfficiencyBracket,
+    FallbackRule,
+    RaceObligation,
+    RaceProof,
+    Uniformity,
+    analyze_function,
+    analyze_kernel,
+    dataflow_report,
+    engine_preconditions,
+    predicted_tier,
+    render_dataflow_certificates,
+)
 from repro.staticheck.differential import DifferentialChecker
 from repro.staticheck.symbolic import (
     Add,
@@ -64,6 +84,7 @@ from repro.staticheck.symbolic import (
     Const,
     Expr,
     Max,
+    Min,
     Mul,
     Param,
     as_expr,
@@ -71,7 +92,8 @@ from repro.staticheck.symbolic import (
 
 __all__ = [
     # symbolic
-    "Expr", "Const", "Param", "Add", "Mul", "Max", "CeilDiv", "as_expr",
+    "Expr", "Const", "Param", "Add", "Mul", "Max", "Min", "CeilDiv",
+    "as_expr",
     # absint
     "Site", "SharedAlloc", "KernelInventory", "ModuleInventory",
     "analyze_source", "analyze_file", "analyze_module", "WAIVE_MARK",
@@ -85,4 +107,10 @@ __all__ = [
     "certify_all", "all_variant_configs", "render_certificates",
     # differential
     "DifferentialChecker",
+    # dataflow
+    "DataflowCertificate", "DataflowChecker", "EfficiencyBracket",
+    "FallbackRule", "RaceObligation", "RaceProof", "Uniformity",
+    "analyze_function", "analyze_kernel", "dataflow_report",
+    "engine_preconditions", "predicted_tier",
+    "render_dataflow_certificates",
 ]

@@ -48,8 +48,14 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
+from repro.sanitize.astutil import (
+    WARP_NAMES as _WARP_NAMES,
+    dotted as _dotted,
+    iter_own_scope as _iter_own_scope,
+    mentions as _mentions,
+)
 from repro.sanitize.report import SanitizerFinding
 from repro.staticheck.symbolic import Const, Expr, Param
 
@@ -63,9 +69,6 @@ __all__ = [
     "analyze_module",
     "WAIVE_MARK",
 ]
-
-#: names whose appearance in a branch test marks it warp-divergent
-_WARP_NAMES = ("warp_id", "global_warp_id", "lanes", "should_preempt")
 
 #: index sub-expressions that keep a global access coalesced
 _COALESCED_HINTS = ("lanes", "arange", "block_idx")
@@ -204,38 +207,6 @@ class ModuleInventory:
 
 
 # -- helpers ----------------------------------------------------------------
-
-
-def _dotted(node: ast.AST) -> Optional[str]:
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def _iter_own_scope(root: ast.AST):
-    stack = list(ast.iter_child_nodes(root))
-    while stack:
-        node = stack.pop()
-        yield node
-        if not isinstance(
-            node,
-            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
-        ):
-            stack.extend(ast.iter_child_nodes(node))
-
-
-def _mentions(node: ast.AST, names: Sequence[str]) -> bool:
-    for sub in ast.walk(node):
-        if isinstance(sub, ast.Attribute) and sub.attr in names:
-            return True
-        if isinstance(sub, ast.Name) and sub.id in names:
-            return True
-    return False
 
 
 def _size_expr(node: ast.AST) -> Expr:

@@ -17,12 +17,20 @@ The derivation splits cleanly into
   - scan: every warp strides ``[base, n)`` with stride ``G*W*S``, so
     it makes at most ``ceil(n / (G*W*S))`` trips (EC pads to at least
     one trip so its per-trip barriers line up);
-  - loop: each block drains at most ``P = cap + scap`` buffer slots —
-    a slot past ``P`` raises ``BufferOverflowError`` before it is ever
-    processed — and every block iteration advances the head by at
-    least one slot, so there are at most ``P + 2`` iterations
-    (``2P + 3`` for VP, whose pipeline may interleave one drain
-    iteration per fetch iteration);
+  - loop: each block drains at most ``F = min(P, n)`` buffer slots,
+    where ``P = cap + scap`` is the hard capacity (a slot past ``P``
+    raises ``BufferOverflowError`` before it is ever processed) and
+    ``n`` is the append-once refinement from the dataflow pass
+    (:mod:`repro.staticheck.dataflow`): the scan phase collects each
+    ``deg == k`` vertex exactly once, and the loop phase appends a
+    vertex only on the unique decrement that observes ``old == k+1``
+    (the degree-restore walk of Fig. 6 can never raise a degree back
+    to ``k+1``), so a block's buffer holds at most ``n`` distinct
+    slots per launch.  Every block iteration advances the head by at
+    least one slot (Warp 0 advances it by up to ``W``, but the
+    trickle worst case is one fresh append per iteration), so there
+    are at most ``F + 2`` iterations (``2F + 3`` for VP, whose
+    pipeline may interleave one drain iteration per fetch iteration);
   - an adjacency sweep makes ``ceil(deg(v) / lane_width)`` trips,
     bounded by ``ceil(dmax / lane_width)``;
 
@@ -52,7 +60,7 @@ from typing import Dict, Mapping, Tuple
 from repro.core.variants import VariantConfig
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.spec import DeviceSpec
-from repro.staticheck.symbolic import CeilDiv, Const, Expr, Max, Param
+from repro.staticheck.symbolic import CeilDiv, Const, Expr, Max, Min, Param
 
 __all__ = [
     "KernelBounds",
@@ -78,6 +86,11 @@ _S = Param("S")
 _CAP = Param("cap")
 _SCAP = Param("scap")
 _P = Param("P")
+
+#: the occupancy-aware buffer-fill refinement: a block's buffer never
+#: holds more than ``min(P, n)`` slots per launch (hard capacity vs the
+#: dataflow pass's append-once argument — see the module docstring)
+_FILL: Expr = Min(_P, _N)
 
 
 def launch_env(
@@ -205,12 +218,12 @@ def loop_bounds(cfg: VariantConfig) -> KernelBounds:
     if cfg.virtual_warps > 1:
         return _loop_bounds_virtual(cfg)
     if cfg.prefetch:
-        iters: Expr = Const(2) * _P + Const(3)
+        iters: Expr = Const(2) * _FILL + Const(3)
         overhead = _ITER_OVERHEAD_VP
         fetch = _FETCH["plain"]
         barrier_per_iter = 3
     else:
-        iters = _P + Const(2)
+        iters = _FILL + Const(2)
         overhead = _ITER_OVERHEAD
         fetch = _FETCH["shared" if cfg.shared_buffer else "plain"]
         barrier_per_iter = 2
@@ -220,13 +233,13 @@ def loop_bounds(cfg: VariantConfig) -> KernelBounds:
     sweeps_per_vertex = CeilDiv(_DMAX, _S)
     per_block = (
         _W * (Const(_PRO_EPI) + Const(overhead) * iters)
-        + _P * (Const(fetch) + Const(sweep) * sweeps_per_vertex)
+        + _FILL * (Const(fetch) + Const(sweep) * sweeps_per_vertex)
     )
     issued = _G * per_block
     mem = _G * (
         Const(2)  # tails gload + count atomic
         + Const(2) * iters  # VP batch fetch / iteration slack
-        + _P * (Const(3) + _sweep_mem() * sweeps_per_vertex)
+        + _FILL * (Const(3) + _sweep_mem() * sweeps_per_vertex)
     )
     barriers = _G * (Const(barrier_per_iter) * iters + Const(2))
     return KernelBounds(issued, mem, barriers)
@@ -235,7 +248,7 @@ def loop_bounds(cfg: VariantConfig) -> KernelBounds:
 def _loop_bounds_virtual(cfg: VariantConfig) -> KernelBounds:
     vw = cfg.virtual_warps
     lane_width = 32 // vw
-    iters = _P + Const(2)
+    iters = _FILL + Const(2)
     #: per sweep trip over a batch of vw adjacency lists: sync(1) +
     #: gload u(1) + gload deg(1) + charge(4) + atomicSub(1) +
     #: restore(1) + append atomic(1) + write(1)
@@ -243,14 +256,14 @@ def _loop_bounds_virtual(cfg: VariantConfig) -> KernelBounds:
     sweeps = CeilDiv(_DMAX, Const(lane_width))
     per_block = (
         _W * (Const(_PRO_EPI) + Const(_ITER_OVERHEAD_VW) * iters)
-        + _P * (Const(2) + sweep * sweeps)
+        + _FILL * (Const(2) + sweep * sweeps)
     )
     issued = _G * per_block
     # batch bounds gload touches 2*vw scattered offsets per instance
     mem = _G * (
         Const(2)
         + Const(2) * iters
-        + _P * (Const(2 + 2 * vw) + _sweep_mem(Const(2 * vw)) * sweeps)
+        + _FILL * (Const(2 + 2 * vw) + _sweep_mem(Const(2 * vw)) * sweeps)
     )
     barriers = _G * (Const(2) * iters + Const(2))
     return KernelBounds(issued, mem, barriers)

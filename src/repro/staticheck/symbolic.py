@@ -31,7 +31,9 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Tuple, Union
 
-__all__ = ["Expr", "Const", "Param", "Add", "Mul", "Max", "CeilDiv", "as_expr"]
+__all__ = [
+    "Expr", "Const", "Param", "Add", "Mul", "Max", "Min", "CeilDiv", "as_expr",
+]
 
 Number = Union[int, float]
 ExprLike = Union["Expr", int, float]
@@ -184,6 +186,17 @@ class Max(_Binary):
 
     def __str__(self) -> str:
         return f"max({self.left}, {self.right})"
+
+
+class Min(_Binary):
+    """``min(left, right)`` — e.g. the buffer-fill refinement
+    ``min(P, N)`` of the loop kernel's iteration bound."""
+
+    def evaluate(self, env: Mapping[str, Number]) -> float:
+        return min(self.left.evaluate(env), self.right.evaluate(env))
+
+    def __str__(self) -> str:
+        return f"min({self.left}, {self.right})"
 
 
 class CeilDiv(_Binary):

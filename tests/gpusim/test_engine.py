@@ -110,9 +110,98 @@ def test_virtual_warp_variants_fall_back_to_reference():
         vec = gpu_peel(graph, variant=variant, engine="vectorized")
         assert np.array_equal(vec.core, ref.core)
         assert ref.simulated_ms == vec.simulated_ms
-        # attribution records the *selected* engine even when a launch
-        # is served by the structural fallback
+        # `engine.*` attribution records the *selected* engine; the
+        # per-launch `engine.served.*` counters record which tier
+        # actually executed each launch (the structural fallback here)
         assert vec.stats["engine"] == "vectorized"
+        rounds = vec.counters["host.rounds"]
+        # scan launches vectorize; every loop launch structurally
+        # declines (cfg.virtual_warps > 1) and is served by reference
+        assert vec.counters["engine.served.vectorized"] == rounds
+        assert vec.counters["engine.served.reference"] == rounds
+
+
+def test_ring_buffer_variant_serves_every_launch_by_reference():
+    """Both executors decline ring addressing before touching state."""
+    import dataclasses
+
+    from repro.core.variants import get_variant
+
+    graph, expected = fig1_graph()
+    ring = dataclasses.replace(
+        get_variant("ours"), name="ours+ring", ring_buffer=True
+    )
+    result = gpu_peel(graph, variant=ring, engine="vectorized")
+    assert [int(c) for c in result.core] == [
+        expected[v] for v in range(graph.num_vertices)
+    ]
+    launches = result.counters["kernel.scan.launches"] \
+        + result.counters["kernel.loop.launches"]
+    assert result.counters["engine.served.reference"] == launches
+    assert "engine.served.vectorized" not in result.counters
+
+
+def test_monitored_launches_are_served_by_reference():
+    """A sanitizer monitor needs the shadow log only the interpreter
+    produces, so every monitored launch carries its serving stamp."""
+    graph, _ = fig1_graph()
+    result = gpu_peel(graph, engine="vectorized", sanitize=True)
+    launches = result.counters["kernel.scan.launches"] \
+        + result.counters["kernel.loop.launches"]
+    assert result.counters["engine.served.reference"] == launches
+    assert "engine.served.vectorized" not in result.counters
+
+
+def test_preempting_launches_are_served_by_reference():
+    """preempt_prob > 0 must interleave at the interpreter's yields."""
+    from repro.core.host import GpuPeelOptions
+
+    graph, _ = fig1_graph()
+    result = gpu_peel(
+        graph, engine="vectorized",
+        options=GpuPeelOptions(preempt_prob=0.05, seed=7),
+    )
+    launches = result.counters["kernel.scan.launches"] \
+        + result.counters["kernel.loop.launches"]
+    assert result.counters["engine.served.reference"] == launches
+    assert "engine.served.vectorized" not in result.counters
+
+
+def test_duplicate_adjacency_routes_loop_launches_to_reference():
+    """Parallel edges defeat the replay's per-vertex dedup assumption:
+    the loop executor declines dynamically, scan still vectorizes."""
+    from repro.graph.csr import CSRGraph
+
+    # `from_*` constructors deduplicate, so build the multigraph's CSR
+    # arrays directly: vertex 0 and 1 each list the other twice.
+    graph = CSRGraph(
+        offsets=np.array([0, 3, 6, 8]),
+        neighbors=np.array([1, 1, 2, 0, 0, 2, 0, 1]),
+    )
+    ref = gpu_peel(graph, engine="reference")
+    vec = gpu_peel(graph, engine="vectorized")
+    assert np.array_equal(vec.core, ref.core)
+    assert ref.simulated_ms == vec.simulated_ms
+    assert vec.counters["engine.served.vectorized"] \
+        == vec.counters["kernel.scan.launches"]
+    assert vec.counters["engine.served.reference"] \
+        == vec.counters["kernel.loop.launches"]
+
+
+def test_predicted_overflow_raises_the_reference_error():
+    """An overflowing buffer is declined up front, and the reference
+    interpreter raises the same typed error the contract demands."""
+    from repro.core.host import GpuPeelOptions
+    from repro.errors import BufferOverflowError
+    from repro.graph.generators import ring_of_cliques
+
+    graph = ring_of_cliques(num_cliques=4, clique_size=8)
+    for engine in ("reference", "vectorized"):
+        with pytest.raises(BufferOverflowError):
+            gpu_peel(
+                graph, engine=engine,
+                options=GpuPeelOptions(buffer_capacity=1),
+            )
 
 
 def test_sanitized_run_is_identical_under_vectorized_engine():

@@ -73,5 +73,10 @@ def test_sanitizer_never_perturbs_simulated_time(setup):
     plain = gpu_peel(graph, options=options, sanitize=False)
     assert plain.sanitizer is None
     assert checked.simulated_ms == plain.simulated_ms
-    assert checked.counters == plain.counters
+    # `engine.served.*` legitimately differs: a monitored launch is
+    # served by the reference interpreter regardless of the selected
+    # engine.  Every simulated observable must still match exactly.
+    strip = lambda c: {k: v for k, v in c.items()
+                       if not k.startswith("engine.served.")}
+    assert strip(checked.counters) == strip(plain.counters)
     assert np.array_equal(checked.core, plain.core)

@@ -136,5 +136,9 @@ class TestSanitizeOffUnchanged:
         checked = gpu_peel(graph, sanitize=True)
         assert checked.simulated_ms == plain.simulated_ms
         assert checked.rounds == plain.rounds
-        assert checked.counters == plain.counters
+        # monitored launches are served by the reference interpreter,
+        # so only the `engine.served.*` attribution may differ
+        strip = lambda c: {k: v for k, v in c.items()
+                           if not k.startswith("engine.served.")}
+        assert strip(checked.counters) == strip(plain.counters)
         assert np.array_equal(checked.core, plain.core)

@@ -21,6 +21,7 @@ def test_detector_names_are_stable():
         "illegal-yield", "wall-clock", "rng", "host-mutation",
         "unsynced-shared",
         "static-bound", "static-resource", "uncertified-kernel",
+        "unproven-race-freedom", "divergence-bound", "engine-precondition",
         "memory-leak", "double-free", "use-after-free",
     )
 
