@@ -6,10 +6,11 @@ Every gate script needs the same three things: the repo layout
 ``repro.bench/v1`` table records loaded into a convenient
 ``dataset -> column -> cell`` mapping (:func:`load_record` /
 :func:`cells_by_dataset`).  Gates that emit machine-readable findings
-(``lint_kernels --json``, ``check_dataflow --json``) share one artifact
-schema, ``repro.findings/v1``, written by :func:`write_findings`.
-Keeping them here keeps the gates consistent: a layout or schema change
-lands in one place.
+(``lint_kernels --json``, ``check_dataflow --json``,
+``check_admission --json``) share one artifact schema,
+``repro.findings/v1`` — owned by :mod:`repro.sanitize.findings` so the
+CLI's ``--json`` dumps emit the identical artifact; the names here are
+compatibility re-exports for the gate scripts.
 """
 
 from __future__ import annotations
@@ -22,15 +23,19 @@ from typing import Any, Dict
 REPO_ROOT = Path(__file__).resolve().parents[1]
 RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
 
-#: schema tag of the unified findings artifact the gate scripts emit
-FINDINGS_SCHEMA = "repro.findings/v1"
-
 
 def bootstrap() -> None:
     """Make ``import repro`` work from an uninstalled checkout."""
     src = str(REPO_ROOT / "src")
     if src not in sys.path:
         sys.path.insert(0, src)
+
+
+bootstrap()
+from repro.sanitize.findings import (  # noqa: E402  (needs bootstrap)
+    FINDINGS_SCHEMA,
+    write_findings,
+)
 
 
 def load_record(path: "str | Path") -> Dict[str, Any]:
@@ -53,26 +58,6 @@ def load_record(path: "str | Path") -> Dict[str, Any]:
         print(f"error: {path}: record must be a JSON object",
               file=sys.stderr)
         raise SystemExit(2)
-    return record
-
-
-def write_findings(path: "str | Path", tool: str, report: Any) -> Dict[str, Any]:
-    """Write a ``repro.findings/v1`` artifact for CI upload.
-
-    ``report`` is a :class:`~repro.sanitize.report.SanitizerReport` (or
-    anything with a compatible ``to_dict``); the artifact wraps its
-    rendering with the schema tag and the emitting tool's name, so one
-    consumer can ingest the lint, dataflow, and sanitizer gates alike.
-    Returns the record that was written.
-    """
-    record: Dict[str, Any] = {
-        "schema": FINDINGS_SCHEMA,
-        "tool": tool,
-        "report": report.to_dict() if hasattr(report, "to_dict") else dict(report),
-    }
-    Path(path).write_text(
-        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
     return record
 
 

@@ -1,0 +1,311 @@
+#!/usr/bin/env python
+"""CI gate: every registered kernel contract actually certifies.
+
+Usage::
+
+    python scripts/check_admission.py [--json FILE] [--quick]
+
+Exit status 0 when every check passes, 1 otherwise (2 for a broken
+invocation).  The registry (:mod:`repro.staticheck.contracts`) is the
+admission list of the static-verification pipeline; this gate re-derives
+every admitted kernel's certificates from scratch and fails when a
+contract's description and its code have drifted.  Four families:
+
+1. **re-derivation** — for every registered :class:`KernelContract`,
+   over its full declared variant space: the closed-form bounds and the
+   shared-memory layout evaluate (a missing bound is only legal for
+   configs the contract declares ``honest_unproven``); the dataflow
+   certificate derives without bailing; every undischarged
+   :class:`RaceObligation` *outside* the declared-honest set (the
+   ring-buffer configs for k-core) fails the gate; and every
+   :class:`RaceProof` uses only discharge arguments the contract
+   declared in ``race_arguments`` — a proof leaning on an undeclared
+   axiom is a contract lie;
+2. **programs** — every :class:`ProgramContract` assembles its variant
+   certificates (``certify_program``) and the module-coverage gate
+   (``verify_inventories``) over the union of all contracts is clean;
+3. **bfs domination** — live :func:`~repro.core.bfs_kernel.gpu_bfs`
+   runs over a graph matrix with the differential checker, the
+   dataflow checker, and the dynamic race sanitizer armed: the BFS
+   contract's static bounds must dominate every measured launch, the
+   engine-precondition prediction (reference-only — the kernel has no
+   vectorized executor) must match ``served_by``, and the levels must
+   agree with a host-side reference BFS;
+4. **rejection self-test** — the same checking core is run against a
+   deliberately *unsound* contract for the racy fixture kernel
+   (:mod:`repro.staticheck.fixtures`) claiming full discharge with an
+   empty argument set; the gate must reject it.  A gate that cannot
+   fail is not a gate.
+
+``--json FILE`` additionally writes the merged findings as a
+``repro.findings/v1`` artifact.  ``--quick`` shrinks the family-3
+graph matrix for fast local iteration.  See
+``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import deque
+from pathlib import Path
+from typing import List
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _bench_common import bootstrap, write_findings  # noqa: E402
+
+bootstrap()
+
+import importlib  # noqa: E402
+
+from repro.core.bfs_kernel import gpu_bfs  # noqa: E402
+from repro.core.variants import VariantConfig, get_variant  # noqa: E402
+from repro.graph.csr import CSRGraph  # noqa: E402
+from repro.graph.examples import path_graph  # noqa: E402
+from repro.graph.generators import (  # noqa: E402
+    erdos_renyi,
+    hub_and_spokes,
+    random_tree,
+)
+from repro.sanitize.report import SanitizerFinding, SanitizerReport  # noqa: E402
+from repro.staticheck import contracts  # noqa: E402
+from repro.staticheck.bounds import KernelBounds  # noqa: E402
+from repro.staticheck.certificate import (  # noqa: E402
+    certify_program,
+    verify_inventories,
+)
+from repro.staticheck.dataflow import analyze_function  # noqa: E402
+from repro.staticheck.symbolic import Const  # noqa: E402
+
+FAILURES: List[str] = []
+
+
+def fail(msg: str) -> None:
+    FAILURES.append(msg)
+    print(f"FAIL: {msg}")
+
+
+# ---------------------------------------------------------------------------
+# the checking core (registry-independent, so the self-test can feed it
+# an unregistered contract)
+# ---------------------------------------------------------------------------
+
+
+def admission_findings(
+    contract: "contracts.KernelContract", cfg: VariantConfig
+) -> List[SanitizerFinding]:
+    """Re-derive one kernel x config and return its admission findings."""
+    findings: List[SanitizerFinding] = []
+    where = f"{contract.name}[{cfg.name}]"
+    honest = contract.honest_unproven(cfg)
+
+    try:
+        contract.bounds(cfg)
+    except ValueError as exc:
+        if not honest:
+            findings.append(SanitizerFinding(
+                "admission-bounds", "error", where,
+                f"contract bounds raised for a config not declared "
+                f"honest-unproven: {exc}",
+            ))
+    try:
+        layout = contract.shared_layout(cfg)
+        if not isinstance(layout, dict) and not hasattr(layout, "items"):
+            raise TypeError(f"shared_layout returned {type(layout)!r}")
+    except Exception as exc:  # noqa: BLE001 - a gate reports, not raises
+        findings.append(SanitizerFinding(
+            "admission-bounds", "error", where,
+            f"contract shared_layout failed: {exc}",
+        ))
+
+    module = importlib.import_module(contract.module)
+    cert = analyze_function(
+        module, contract.entry, cfg, engine_module=contract.engine_module
+    )
+    declared = set(contract.race_arguments)
+    for proof in cert.proofs:
+        if proof.argument not in declared:
+            findings.append(SanitizerFinding(
+                "admission-undeclared-argument", "error", where,
+                f"proof on {proof.space} '{proof.array}' uses discharge "
+                f"argument '{proof.argument}' the contract never "
+                f"declared (declared: {sorted(declared)})",
+            ))
+    if cert.unproven and not honest:
+        for ob in cert.unproven:
+            findings.append(SanitizerFinding(
+                "admission-unproven-race", "error", where,
+                f"undischarged {ob.kinds} obligation on {ob.space} "
+                f"'{ob.array}' outside the declared-honest set: "
+                f"{ob.reason}",
+            ))
+    if honest and not cert.unproven:
+        # the analyzer claims to prove what the contract declares
+        # unprovable — that is unsoundness, not progress (the same pin
+        # scripts/check_dataflow.py keeps on the ring configs)
+        findings.append(SanitizerFinding(
+            "admission-unproven-race", "error", where,
+            "config is declared honest-unproven but the analyzer "
+            "discharged every obligation — drop the declaration or "
+            "distrust the proof",
+        ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# family 1+2: re-derive every registered contract
+# ---------------------------------------------------------------------------
+
+
+def check_registry(report: SanitizerReport) -> None:
+    combos = 0
+    for name, contract in contracts.all_kernel_contracts().items():
+        for cfg in contract.variants().values():
+            combos += 1
+            found = admission_findings(contract, cfg)
+            report.extend(found)
+            for f in found:
+                fail(f"{f.where}: {f.message}")
+    print(f"re-derived {combos} kernel x config combinations over "
+          f"{len(contracts.all_kernel_contracts())} contracts")
+
+    coverage = verify_inventories()
+    report.extend(coverage)
+    for f in coverage:
+        fail(f"coverage: {f.where}: {f.message}")
+
+    for prog_name, prog in contracts.all_program_contracts().items():
+        certs = certify_program(prog_name)
+        if not certs:
+            fail(f"program {prog_name!r} certified zero variants")
+        for vname, vcert in certs.items():
+            if not vcert.kernels:
+                fail(f"program {prog_name!r} variant {vname!r} has no "
+                     "kernel certificates")
+    print(f"assembled certificates for "
+          f"{len(contracts.all_program_contracts())} programs")
+
+
+# ---------------------------------------------------------------------------
+# family 3: BFS bound domination over a graph matrix
+# ---------------------------------------------------------------------------
+
+
+def _reference_bfs(graph: CSRGraph, source: int) -> np.ndarray:
+    dist = np.full(graph.num_vertices, -1, dtype=np.int64)
+    if graph.num_vertices == 0:
+        return dist
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors_of(v):
+            if dist[u] < 0:
+                dist[u] = dist[v] + 1
+                queue.append(int(u))
+    return dist
+
+
+def check_bfs_domination(report: SanitizerReport, quick: bool) -> None:
+    matrix = [
+        ("path", path_graph(64), 0),
+        ("tree", random_tree(200, seed=3), 0),
+    ]
+    if not quick:
+        matrix += [
+            ("er", erdos_renyi(400, 6.0, seed=11), 0),
+            ("hub", hub_and_spokes(300, num_hubs=3, seed=5), 1),
+            ("empty", CSRGraph.empty(0), 0),
+            ("singleton", CSRGraph.empty(1), 0),
+        ]
+    launches = 0
+    for label, graph, source in matrix:
+        result = gpu_bfs(
+            graph, source,
+            sanitize=True, staticheck=True, dataflow=True,
+        )
+        expected = _reference_bfs(graph, source)
+        if not np.array_equal(result.core, expected):
+            fail(f"bfs[{label}]: device levels disagree with the host "
+                 "reference BFS")
+        static = result.staticheck
+        if static is None:
+            fail(f"bfs[{label}]: no staticheck report came back")
+            continue
+        launches += static.launches_checked
+        report.merge(static)
+        for f in static.findings:
+            fail(f"bfs[{label}]: {f.detector}: {f.where}: {f.message}")
+        san = result.sanitizer
+        if san is not None:
+            for f in san.findings:
+                fail(f"bfs[{label}]: sanitizer {f.detector}: {f.message}")
+    if launches == 0:
+        fail("bfs matrix checked zero launches — the matrix is vacuous")
+    print(f"bfs static bounds dominated {launches} checked launch(es) "
+          f"over {len(matrix)} graph(s)")
+
+
+# ---------------------------------------------------------------------------
+# family 4: the gate must reject an unsound contract
+# ---------------------------------------------------------------------------
+
+
+def check_rejects_unsound_contract(report: SanitizerReport) -> None:
+    """Feed the checking core a contract that lies about the racy
+    fixture kernel; admission findings MUST come back."""
+    unsound = contracts.KernelContract(
+        name="racy_fixture_kernel",
+        program="fixture-selftest",  # never registered: core is fed directly
+        module="repro.staticheck.fixtures",
+        entry="racy_fixture_kernel",
+        bounds=lambda cfg: KernelBounds(Const(1), Const(1), Const(1)),
+        shared_layout=lambda cfg: {},
+        reachability={"racy_fixture_kernel": ()},
+        variants=lambda: {"ours": get_variant("ours")},
+        params=(),
+        engine_module=None,
+        race_arguments=(),  # claims no proof needs any argument
+    )
+    found = admission_findings(unsound, get_variant("ours"))
+    detectors = {f.detector for f in found}
+    if "admission-unproven-race" not in detectors:
+        fail("self-test: the unsound fixture contract was NOT rejected "
+             "for its undischarged obligations — the gate cannot fail")
+    else:
+        print(f"self-test: unsound fixture contract rejected with "
+              f"{len(found)} finding(s) ({sorted(detectors)})")
+
+
+# ---------------------------------------------------------------------------
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="write a repro.findings/v1 artifact")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the BFS graph matrix")
+    args = parser.parse_args(argv)
+
+    report = SanitizerReport()
+    check_registry(report)
+    check_bfs_domination(report, quick=args.quick)
+    check_rejects_unsound_contract(report)
+
+    if args.json:
+        write_findings(args.json, "check_admission", report)
+        print(f"wrote findings artifact to {args.json}")
+
+    if FAILURES:
+        print(f"\ncheck_admission: {len(FAILURES)} failure(s)")
+        return 1
+    print("kernel admission: every registered contract certifies: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

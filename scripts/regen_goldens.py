@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Regenerate the committed certificate goldens.
+
+Usage::
+
+    python scripts/regen_goldens.py
+
+Rewrites ``tests/staticheck/golden/*.json`` from the current analyzer
+output:
+
+* ``kernel_certificates.json`` — ``VariantCertificate.to_dict()`` for
+  every registered program x certifiable variant (the resource tier);
+* ``dataflow_certificates.json`` — ``DataflowCertificate.to_dict()``
+  for every combo ``certified_combos()`` admits, *plus* the
+  declared-honest ring configs (their unproven obligations are part of
+  the frozen surface too).
+
+``tests/staticheck/test_golden.py`` diffs the same renderings against
+these files, so an analyzer change that moves any certificate field
+fails CI until the goldens are regenerated — which forces the diff into
+review instead of letting semantic drift ride along silently.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _bench_common import REPO_ROOT, bootstrap  # noqa: E402
+
+bootstrap()
+
+from repro.staticheck import contracts  # noqa: E402
+from repro.staticheck.certificate import certify_program  # noqa: E402
+from repro.staticheck.dataflow import analyze_kernel  # noqa: E402
+
+GOLDEN_DIR = REPO_ROOT / "tests" / "staticheck" / "golden"
+
+
+def kernel_certificates() -> Dict[str, Any]:
+    """``program/variant`` -> VariantCertificate rendering."""
+    out: Dict[str, Any] = {}
+    for program in sorted(contracts.all_program_contracts()):
+        for name, cert in certify_program(program).items():
+            out[f"{program}/{name}"] = cert.to_dict()
+    return out
+
+
+def dataflow_certificates() -> Dict[str, Any]:
+    """``kernel[config]`` -> DataflowCertificate rendering.
+
+    Covers every registered kernel's full variant space, *including*
+    the declared-honest configs ``certified_combos()`` filters out —
+    the shape of their unproven obligations is frozen too.
+    """
+    out: Dict[str, Any] = {}
+    for kname, contract in sorted(contracts.all_kernel_contracts().items()):
+        for cfg in contract.variants().values():
+            out[f"{kname}[{cfg.name}]"] = analyze_kernel(kname, cfg).to_dict()
+    return out
+
+
+def write(path: Path, record: Dict[str, Any]) -> None:
+    path.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {len(record)} certificates to "
+          f"{path.relative_to(REPO_ROOT)}")
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    write(GOLDEN_DIR / "kernel_certificates.json", kernel_certificates())
+    write(GOLDEN_DIR / "dataflow_certificates.json", dataflow_certificates())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

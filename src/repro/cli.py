@@ -175,6 +175,12 @@ def build_parser() -> argparse.ArgumentParser:
              "algorithm, also check every launch against them; error "
              "findings exit 1",
     )
+    parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="with --staticheck/--dataflow/--sanitize, also write the "
+             "findings as a machine-readable repro.findings/v1 "
+             "artifact (the schema CI's gate scripts upload)",
+    )
     return parser
 
 
@@ -219,14 +225,33 @@ def _write_file(path: str, write: Callable[[str], None], label: str) -> bool:
     return True
 
 
-def _print_certificates() -> int:
+def _emit_findings(json_path: "str | None", tool: str, report) -> bool:
+    """Write the ``repro.findings/v1`` artifact when ``--json`` asked."""
+    if not json_path:
+        return True
+    from repro.sanitize.findings import write_findings
+
+    if not _write_file(
+        json_path, lambda p: write_findings(p, tool, report), "findings"
+    ):
+        return False
+    print(f"wrote {tool} findings to {json_path}")
+    return True
+
+
+def _print_certificates(json_path: "str | None" = None) -> int:
     """The standalone ``--staticheck`` listing; exit 1 on coverage gaps."""
+    from repro.sanitize.report import SanitizerReport
     from repro.staticheck import (
         certify_all, render_certificates, verify_inventories,
     )
 
     print(render_certificates(certify_all()))
     findings = verify_inventories()
+    report = SanitizerReport()
+    report.extend(findings)
+    if not _emit_findings(json_path, "cli-staticheck", report):
+        return 1
     if findings:
         print(f"\nstaticheck: {len(findings)} coverage finding(s)",
               file=sys.stderr)
@@ -236,22 +261,24 @@ def _print_certificates() -> int:
     return 0
 
 
-def _print_dataflow_certificates() -> int:
-    """The standalone ``--dataflow`` listing; exit 1 on unproven pairs."""
-    from repro.core.variants import EXTENSION_VARIANTS, VARIANTS
+def _print_dataflow_certificates(json_path: "str | None" = None) -> int:
+    """The standalone ``--dataflow`` listing; exit 1 on unproven pairs.
+
+    Both the listing and the unproven count iterate the contract
+    registry (every admitted kernel over its own variant space), so a
+    newly registered kernel is covered without touching the CLI.
+    """
     from repro.staticheck.dataflow import (
-        analyze_kernel, render_dataflow_certificates,
+        dataflow_report, render_dataflow_certificates,
     )
 
     print(render_dataflow_certificates())
-    unproven = sum(
-        len(analyze_kernel(kernel, name).unproven)
-        for name in [*VARIANTS, *EXTENSION_VARIANTS]
-        for kernel in ("scan_kernel", "loop_kernel")
-    )
-    if unproven:
-        print(f"\ndataflow: {unproven} unproven race obligation(s)",
-              file=sys.stderr)
+    report = dataflow_report()
+    if not _emit_findings(json_path, "cli-dataflow", report):
+        return 1
+    if report.findings:
+        print(f"\ndataflow: {len(report.findings)} unproven race "
+              "obligation(s)", file=sys.stderr)
         return 1
     return 0
 
@@ -262,9 +289,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if not (args.input or args.dataset or args.list_datasets
             or args.list_algorithms):
         if args.staticheck:
-            return _print_certificates()
+            return _print_certificates(args.json)
         if args.dataflow:
-            return _print_dataflow_certificates()
+            return _print_dataflow_certificates(args.json)
         parser.error(
             "one of --input/--dataset/--list-datasets/--list-algorithms "
             "is required (or bare --staticheck/--dataflow for the "
@@ -374,6 +401,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             print("sanitizer: no report produced", file=sys.stderr)
             return 1
         print(report.summary())
+        if not _emit_findings(args.json, "cli-sanitize", report):
+            return 1
         if report.errors:
             return 1
     if args.staticheck or args.dataflow:
@@ -382,6 +411,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             print("staticheck: no report produced", file=sys.stderr)
             return 1
         print(report.summary(label="staticheck"))
+        tool = "cli-staticheck" if args.staticheck else "cli-dataflow"
+        if not args.sanitize:  # --sanitize already claimed the file
+            if not _emit_findings(args.json, tool, report):
+                return 1
         if report.errors:
             return 1
     if args.ncu is not None:

@@ -1,5 +1,8 @@
-"""The paper's contribution: GPU peeling kernels and their variants."""
+"""The paper's contribution: GPU peeling kernels and their variants
+(plus the frontier BFS kernel that proves the static-verification
+pipeline is kernel-agnostic)."""
 
+from repro.core.bfs_kernel import gpu_bfs
 from repro.core.decomposer import KCoreDecomposer
 from repro.core.fastpath import fast_decompose, peel_fast
 from repro.core.host import GpuPeelOptions, gpu_peel
@@ -14,6 +17,7 @@ __all__ = [
     "fast_decompose",
     "peel_fast",
     "GpuPeelOptions",
+    "gpu_bfs",
     "gpu_peel",
     "VARIANTS",
     "VariantConfig",

@@ -27,7 +27,9 @@ from repro.gpusim.engine import (
     VectorizedEngine,
     available_engines,
     get_engine,
+    has_vectorized_impl,
     register_vectorized_kernel,
+    vectorized_kernel_names,
 )
 from repro.gpusim.memory import DeviceArray, GlobalMemory
 from repro.gpusim.scheduler import KernelStats, run_kernel
@@ -51,7 +53,9 @@ __all__ = [
     "VectorizedEngine",
     "available_engines",
     "get_engine",
+    "has_vectorized_impl",
     "register_vectorized_kernel",
     "run_kernel",
+    "vectorized_kernel_names",
     "DeviceSpec",
 ]

@@ -80,7 +80,9 @@ __all__ = [
     "VectorizedEngine",
     "available_engines",
     "get_engine",
+    "has_vectorized_impl",
     "register_vectorized_kernel",
+    "vectorized_kernel_names",
 ]
 
 #: the engine a :class:`~repro.gpusim.device.Device` uses when none is
@@ -142,6 +144,23 @@ def register_vectorized_kernel(
     run on the reference interpreter.
     """
     _VECTORIZED_KERNELS[kernel_fn] = impl
+
+
+def has_vectorized_impl(kernel_fn: KernelFn) -> bool:
+    """True when a vectorized executor is registered for ``kernel_fn``.
+
+    The static engine-precondition analysis mirrors this table through
+    each kernel's contract (``engine_module=None`` declares "no fast
+    path, always reference") — this is the dynamic side of that
+    prediction, used by tests and the admission gate to check the two
+    agree.
+    """
+    return kernel_fn in _VECTORIZED_KERNELS
+
+
+def vectorized_kernel_names() -> Tuple[str, ...]:
+    """Sorted names of the kernels with a registered fast path."""
+    return tuple(sorted(fn.__name__ for fn in _VECTORIZED_KERNELS))
 
 
 class ExecutionEngine:

@@ -32,15 +32,23 @@ from repro.sanitize.lint import (
     lint_repo,
     lint_source,
 )
+from repro.sanitize.findings import (
+    FINDINGS_SCHEMA,
+    findings_record,
+    write_findings,
+)
 from repro.sanitize.racecheck import KernelSanitizer, LaunchMonitor
 from repro.sanitize.report import DETECTORS, SanitizerFinding, SanitizerReport
 
 __all__ = [
     "DETECTORS",
+    "FINDINGS_SCHEMA",
     "KernelSanitizer",
     "LaunchMonitor",
     "SanitizerFinding",
     "SanitizerReport",
+    "findings_record",
+    "write_findings",
     "default_kernel_paths",
     "lint_file",
     "lint_module",

@@ -1,0 +1,49 @@
+"""The ``repro.findings/v1`` machine-readable findings artifact.
+
+Every tool that emits findings — the kernel linter, the dataflow and
+admission gates, the CLI's ``--json`` dumps — shares one artifact
+shape: the report's :meth:`~repro.sanitize.report.SanitizerReport.
+to_dict` rendering wrapped with a schema tag and the emitting tool's
+name, so one consumer can ingest them all.  Keeping the schema in the
+package (rather than the ``scripts/`` plumbing) lets library callers —
+``repro --dataflow --json findings.json`` — emit the same artifact CI
+uploads.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+__all__ = ["FINDINGS_SCHEMA", "findings_record", "write_findings"]
+
+#: schema tag of the unified findings artifact
+FINDINGS_SCHEMA = "repro.findings/v1"
+
+
+def findings_record(tool: str, report: Any) -> Dict[str, Any]:
+    """The ``repro.findings/v1`` record for one tool's report.
+
+    ``report`` is a :class:`~repro.sanitize.report.SanitizerReport` (or
+    anything with a compatible ``to_dict``).
+    """
+    return {
+        "schema": FINDINGS_SCHEMA,
+        "tool": tool,
+        "report": (
+            report.to_dict() if hasattr(report, "to_dict") else dict(report)
+        ),
+    }
+
+
+def write_findings(
+    path: "str | Path", tool: str, report: Any
+) -> Dict[str, Any]:
+    """Write a ``repro.findings/v1`` artifact; returns the record."""
+    record = findings_record(tool, report)
+    Path(path).write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return record

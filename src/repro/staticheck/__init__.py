@@ -13,6 +13,10 @@ certificates against the committed bench JSON.
 
 Package layout:
 
+* :mod:`~repro.staticheck.contracts` — the kernel-admission registry:
+  declarative :class:`~repro.staticheck.contracts.KernelContract` /
+  :class:`~repro.staticheck.contracts.ProgramContract` records that
+  every analyzer below iterates instead of hardcoding kernel names;
 * :mod:`~repro.staticheck.symbolic` — the expression language bounds
   are written in;
 * :mod:`~repro.staticheck.absint` — the AST site-inventory pass and
@@ -56,11 +60,25 @@ from repro.staticheck.certificate import (
     VariantCertificate,
     all_variant_configs,
     certify_all,
+    certify_program,
     certify_variant,
     core_inventories,
     kernel_inventories,
     render_certificates,
     verify_inventories,
+)
+from repro.staticheck.contracts import (
+    KernelContract,
+    ProgramContract,
+    all_kernel_contracts,
+    all_program_contracts,
+    certified_module_paths,
+    kernel_contract,
+    load_contracts,
+    merged_reachability,
+    program_contract,
+    register_kernel_contract,
+    register_program_contract,
 )
 from repro.staticheck.dataflow import (
     DataflowCertificate,
@@ -72,6 +90,7 @@ from repro.staticheck.dataflow import (
     Uniformity,
     analyze_function,
     analyze_kernel,
+    certified_combos,
     dataflow_report,
     engine_preconditions,
     predicted_tier,
@@ -91,6 +110,11 @@ from repro.staticheck.symbolic import (
 )
 
 __all__ = [
+    # contracts
+    "KernelContract", "ProgramContract", "register_kernel_contract",
+    "register_program_contract", "kernel_contract", "program_contract",
+    "all_kernel_contracts", "all_program_contracts",
+    "certified_module_paths", "merged_reachability", "load_contracts",
     # symbolic
     "Expr", "Const", "Param", "Add", "Mul", "Max", "Min", "CeilDiv",
     "as_expr",
@@ -104,13 +128,14 @@ __all__ = [
     # certificates
     "KernelCertificate", "VariantCertificate", "core_inventories",
     "kernel_inventories", "verify_inventories", "certify_variant",
-    "certify_all", "all_variant_configs", "render_certificates",
+    "certify_all", "certify_program", "all_variant_configs",
+    "render_certificates",
     # differential
     "DifferentialChecker",
     # dataflow
     "DataflowCertificate", "DataflowChecker", "EfficiencyBracket",
     "FallbackRule", "RaceObligation", "RaceProof", "Uniformity",
-    "analyze_function", "analyze_kernel", "dataflow_report",
-    "engine_preconditions", "predicted_tier",
+    "analyze_function", "analyze_kernel", "certified_combos",
+    "dataflow_report", "engine_preconditions", "predicted_tier",
     "render_dataflow_certificates",
 ]

@@ -1,9 +1,11 @@
 """Abstract interpretation of kernel ASTs: the site-inventory pass.
 
-This is the *static* half of the certifier.  It parses the kernel
-modules (``repro.core.{scan_kernel,loop_kernel,compaction,buffers}``
-and the four ``repro.systems`` emulations) without executing anything
-and extracts, per function whose first parameter is ``ctx``:
+This is the *static* half of the certifier.  It parses every module
+the contract registry certifies (``repro.staticheck.contracts`` —
+each admitted kernel's module plus its declared helpers; the four
+``repro.systems`` emulations are swept by the lint as well) without
+executing anything and extracts, per function whose first parameter
+is ``ctx``:
 
 * **atomic sites** — every ``ctx.smem_atomic_add`` (shared) and
   ``ctx.atomic_global`` (global) call with ``file:line`` provenance.

@@ -57,9 +57,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping, Tuple
 
-from repro.core.variants import VariantConfig
+from repro.core.variants import EXTENSION_VARIANTS, VARIANTS, VariantConfig
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.spec import DeviceSpec
+from repro.staticheck import contracts
 from repro.staticheck.symbolic import CeilDiv, Const, Expr, Max, Min, Param
 
 __all__ = [
@@ -270,19 +271,33 @@ def _loop_bounds_virtual(cfg: VariantConfig) -> KernelBounds:
 
 
 def kernel_bounds(kernel: str, cfg: VariantConfig) -> KernelBounds:
-    """Bounds for one kernel by scheduler name (``scan_kernel`` /
-    ``loop_kernel``)."""
+    """Bounds for one kernel by scheduler name, via its registered
+    :class:`~repro.staticheck.contracts.KernelContract`."""
+    try:
+        contract = contracts.kernel_contract(kernel)
+    except KeyError:
+        raise KeyError(f"no certified bounds for kernel {kernel!r}") from None
+    return contract.bounds(cfg)
+
+
+def _reject_ring(cfg: VariantConfig) -> None:
+    """The k-core kernels' honest refusal for ring configs."""
     if cfg.ring_buffer:
         raise ValueError(
             "ring-buffer variants have no static buffer-slot bound "
             "(the tail may lap the head); certificates cover the "
             "Table II matrix and the virtual-warp extensions"
         )
-    if kernel == "scan_kernel":
-        return scan_bounds(cfg)
-    if kernel == "loop_kernel":
-        return loop_bounds(cfg)
-    raise KeyError(f"no certified bounds for kernel {kernel!r}")
+
+
+def _certified_scan_bounds(cfg: VariantConfig) -> KernelBounds:
+    _reject_ring(cfg)
+    return scan_bounds(cfg)
+
+
+def _certified_loop_bounds(cfg: VariantConfig) -> KernelBounds:
+    _reject_ring(cfg)
+    return loop_bounds(cfg)
 
 
 # -- resource footprints -----------------------------------------------------
@@ -294,28 +309,37 @@ def shared_footprint(kernel: str, cfg: VariantConfig) -> Dict[str, Expr]:
     Maps allocation name -> symbolic slot count; scalars are one slot
     each.  Evaluating the sum against
     ``DeviceSpec.shared_memory_per_block_bytes`` is the fit check.
+    Resolved through the kernel's registered contract.
     """
-    slots: Dict[str, Expr] = {}
-    if kernel == "scan_kernel":
-        slots["e"] = Const(1)
-        if cfg.compaction == "block":
-            slots["warp_counts"] = _W
-            slots["warp_offsets"] = _W
-    elif kernel == "loop_kernel":
-        slots["s"] = Const(1)
-        slots["e"] = Const(1)
-        if cfg.shared_buffer:
-            slots["e_init"] = Const(1)
-            slots["B"] = _SCAP
-        if cfg.prefetch:
-            slots["pn_cur"] = Const(1)
-            slots["pn_next"] = Const(1)
-            slots["pref0"] = _W
-            slots["pref1"] = _W
-        if cfg.compaction == "block":
-            slots["warp_counts"] = _W  # block_scan_offsets staging
-    else:
-        raise KeyError(f"no shared-footprint model for kernel {kernel!r}")
+    try:
+        contract = contracts.kernel_contract(kernel)
+    except KeyError:
+        raise KeyError(
+            f"no shared-footprint model for kernel {kernel!r}"
+        ) from None
+    return dict(contract.shared_layout(cfg))
+
+
+def _scan_shared_layout(cfg: VariantConfig) -> Dict[str, Expr]:
+    slots: Dict[str, Expr] = {"e": Const(1)}
+    if cfg.compaction == "block":
+        slots["warp_counts"] = _W
+        slots["warp_offsets"] = _W
+    return slots
+
+
+def _loop_shared_layout(cfg: VariantConfig) -> Dict[str, Expr]:
+    slots: Dict[str, Expr] = {"s": Const(1), "e": Const(1)}
+    if cfg.shared_buffer:
+        slots["e_init"] = Const(1)
+        slots["B"] = _SCAP
+    if cfg.prefetch:
+        slots["pn_cur"] = Const(1)
+        slots["pn_next"] = Const(1)
+        slots["pref0"] = _W
+        slots["pref1"] = _W
+    if cfg.compaction == "block":
+        slots["warp_counts"] = _W  # block_scan_offsets staging
     return slots
 
 
@@ -402,40 +426,125 @@ REACHABILITY: Dict[str, Tuple[str, ...]] = {
 }
 
 
+def _kcore_prune(callee: str, cfg: VariantConfig) -> bool:
+    """The abstract interpretation of the dispatch branches in
+    ``scan_kernel`` / ``loop_kernel``: False = edge dead under ``cfg``."""
+    if callee == "_scan_block_compaction" and cfg.compaction != "block":
+        return False
+    if callee == "_scan_strided" and cfg.compaction == "block":
+        return False
+    if callee == "_drain_prefetched" and not cfg.prefetch:
+        return False
+    if callee == "_drain_virtual" and cfg.virtual_warps == 1:
+        return False
+    if callee == "_drain" and (cfg.prefetch or cfg.virtual_warps > 1):
+        return False
+    if callee == "warp_compact_ballot" and cfg.compaction != "ballot":
+        return False
+    if callee == "warp_compact_hillis_steele" and cfg.compaction != "block":
+        return False
+    return True
+
+
 def reachable_functions(kernel: str, cfg: VariantConfig) -> Tuple[str, ...]:
-    """Transitive closure of :data:`REACHABILITY` from ``kernel``,
-    pruned by the variant's configuration (the abstract interpretation
-    of the dispatch branches in ``scan_kernel`` / ``loop_kernel``)."""
-
-    def pruned(callees: Tuple[str, ...], caller: str) -> Tuple[str, ...]:
-        out = []
-        for callee in callees:
-            if callee == "_scan_block_compaction" and cfg.compaction != "block":
-                continue
-            if callee == "_scan_strided" and cfg.compaction == "block":
-                continue
-            if callee == "_drain_prefetched" and not cfg.prefetch:
-                continue
-            if callee == "_drain_virtual" and cfg.virtual_warps == 1:
-                continue
-            if callee == "_drain" and (cfg.prefetch or cfg.virtual_warps > 1):
-                continue
-            if callee == "warp_compact_ballot" and cfg.compaction != "ballot":
-                continue
-            if (
-                callee == "warp_compact_hillis_steele"
-                and cfg.compaction != "block"
-            ):
-                continue
-            out.append(callee)
-        return tuple(out)
-
+    """Transitive closure of the kernel contract's declared call graph
+    from its entry, pruned by the contract's variant-dispatch rules."""
+    contract = contracts.kernel_contract(kernel)
     seen: Dict[str, None] = {}
-    frontier = [kernel]
+    frontier = [contract.entry]
     while frontier:
         name = frontier.pop()
         if name in seen:
             continue
         seen[name] = None
-        frontier.extend(pruned(REACHABILITY.get(name, ()), name))
+        frontier.extend(
+            callee
+            for callee in contract.reachability.get(name, ())
+            if contract.prune(callee, cfg)
+        )
     return tuple(seen)
+
+
+# -- the built-in k-core contracts -------------------------------------------
+
+#: the launch parameters of :func:`launch_env` the k-core bounds use
+_KCORE_PARAMS = ("n", "adj", "dmax", "G", "W", "S", "cap", "scap", "P")
+
+#: ring-buffer representatives whose wraparound aliasing the dataflow
+#: tier *declares* unprovable (the honest-unproven set of the
+#: admission gate; ``scripts/check_dataflow.py`` pins the same pair)
+_RING_REPRESENTATIVES = ("ours", "bc")
+
+
+def _kcore_variants() -> Dict[str, VariantConfig]:
+    """The certified matrix (Table II + vw2/vw4) plus the declared
+    ring representatives — the full dataflow-analyzable space."""
+    configs: Dict[str, VariantConfig] = dict(VARIANTS)
+    configs.update(EXTENSION_VARIANTS)
+    for base in _RING_REPRESENTATIVES:
+        ring = VARIANTS[base].with_ring_buffer()
+        configs[ring.name] = ring
+    return configs
+
+
+def _ring_is_honest(cfg: VariantConfig) -> bool:
+    """Ring wraparound has no static slot bound and no aliasing axiom:
+    missing bounds and unproven obligations are the *correct* answer."""
+    return cfg.ring_buffer
+
+
+_KCORE_RACE_ARGUMENTS = (
+    "read-only",
+    "atomic-only",
+    "barrier-separated",
+    "same-warp",
+    "single-instance",
+    "warp-slot",
+    "double-buffer-parity",
+    "reservation-disjoint",
+    "head-tail",
+    "block-private",
+)
+
+contracts.register_kernel_contract(contracts.KernelContract(
+    name="scan_kernel",
+    program="kcore",
+    module="repro.core.scan_kernel",
+    entry="scan_kernel",
+    bounds=_certified_scan_bounds,
+    shared_layout=_scan_shared_layout,
+    reachability=REACHABILITY,
+    variants=_kcore_variants,
+    prune=_kcore_prune,
+    params=_KCORE_PARAMS,
+    helper_modules=("repro.core.compaction", "repro.core.buffers"),
+    engine_module="repro.core.fastsim",
+    race_arguments=_KCORE_RACE_ARGUMENTS,
+    honest_unproven=_ring_is_honest,
+))
+
+contracts.register_kernel_contract(contracts.KernelContract(
+    name="loop_kernel",
+    program="kcore",
+    module="repro.core.loop_kernel",
+    entry="loop_kernel",
+    bounds=_certified_loop_bounds,
+    shared_layout=_loop_shared_layout,
+    reachability=REACHABILITY,
+    variants=_kcore_variants,
+    prune=_kcore_prune,
+    params=_KCORE_PARAMS,
+    helper_modules=("repro.core.compaction", "repro.core.buffers"),
+    engine_module="repro.core.fastsim",
+    race_arguments=_KCORE_RACE_ARGUMENTS,
+    honest_unproven=_ring_is_honest,
+))
+
+contracts.register_program_contract(contracts.ProgramContract(
+    name="kcore",
+    kernels=("scan_kernel", "loop_kernel"),
+    device_memory=device_memory_bound,
+    variants=_kcore_variants,
+    description="k-core peeling: scan(k) collects the k-shell, loop(k) "
+                "drains and cascades it (Algorithms 2/3)",
+))

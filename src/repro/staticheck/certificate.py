@@ -13,10 +13,11 @@ A :class:`KernelCertificate` packages, for one kernel under one
   accesses (the latency story behind VP's ``trackers`` win);
 * the barrier sites backing the barrier bound.
 
-A :class:`VariantCertificate` is the pair of kernel certificates plus
-the variant's exact device-global-memory bound (Table V).  Certificates
-are built entirely from the AST pass and the symbolic bounds — nothing
-is executed — and are checked two ways:
+A :class:`VariantCertificate` maps each kernel of one registered
+program (see :mod:`repro.staticheck.contracts`) to its certificate,
+plus the program's exact device-global-memory bound (Table V for
+k-core).  Certificates are built entirely from the AST pass and the
+symbolic bounds — nothing is executed — and are checked two ways:
 
 * dynamically, by :mod:`repro.staticheck.differential` on every traced
   launch;
@@ -26,16 +27,15 @@ is executed — and are checked two ways:
 
 from __future__ import annotations
 
+import importlib
 from dataclasses import dataclass
+from types import ModuleType
 from typing import Dict, List, Mapping, Tuple
 
-import repro.core.buffers as _buffers_mod
-import repro.core.compaction as _compaction_mod
-import repro.core.loop_kernel as _loop_mod
-import repro.core.scan_kernel as _scan_mod
-from repro.core.variants import EXTENSION_VARIANTS, VARIANTS, VariantConfig
+from repro.core.variants import VariantConfig
 from repro.gpusim.spec import DeviceSpec
 from repro.sanitize.report import SanitizerFinding
+from repro.staticheck import contracts
 from repro.staticheck.absint import (
     KernelInventory,
     ModuleInventory,
@@ -43,9 +43,7 @@ from repro.staticheck.absint import (
     analyze_module,
 )
 from repro.staticheck.bounds import (
-    REACHABILITY,
     KernelBounds,
-    device_memory_bound,
     kernel_bounds,
     reachable_functions,
     shared_footprint,
@@ -59,24 +57,30 @@ __all__ = [
     "kernel_inventories",
     "verify_inventories",
     "certify_variant",
+    "certify_program",
     "certify_all",
     "all_variant_configs",
     "render_certificates",
 ]
 
-#: the certified core modules, in analysis order
-_CORE_MODULES = (_scan_mod, _loop_mod, _compaction_mod, _buffers_mod)
+
+def _certified_modules() -> Tuple[ModuleType, ...]:
+    """The certified modules, in the registry's analysis order."""
+    return tuple(
+        importlib.import_module(path)
+        for path in contracts.certified_module_paths()
+    )
 
 
 def core_inventories() -> List[ModuleInventory]:
-    """AST inventories of the four certified ``repro.core`` modules."""
-    return [analyze_module(mod) for mod in _CORE_MODULES]
+    """AST inventories of every certified module in the registry."""
+    return [analyze_module(mod) for mod in _certified_modules()]
 
 
 def kernel_inventories() -> Dict[str, KernelInventory]:
     """All certified kernel functions, keyed by bare function name.
 
-    Names are unique across the four core modules (the coverage gate
+    Names are unique across the certified modules (the coverage gate
     in :func:`verify_inventories` would flag a collision as a stale
     reachability table long before it became ambiguous here).
     """
@@ -87,17 +91,18 @@ def kernel_inventories() -> Dict[str, KernelInventory]:
 
 
 def verify_inventories() -> List[SanitizerFinding]:
-    """The static coverage gate over the core modules.
+    """The static coverage gate over every certified module.
 
     Returns ``uncertified-kernel`` findings when a ``ctx`` function is
     missing from its module's ``__staticheck__`` annotation, when an
     annotation has gone stale, or when a real call edge between kernel
-    functions is absent from the certifier's reachability table.
+    functions is absent from the registry's merged reachability table.
     """
     findings: List[SanitizerFinding] = []
+    merged = contracts.merged_reachability()
     for module in core_inventories():
         findings.extend(module.coverage_findings())
-        findings.extend(module.check_call_edges(REACHABILITY))
+        findings.extend(module.check_call_edges(merged))
     return findings
 
 
@@ -188,26 +193,47 @@ class KernelCertificate:
 
 @dataclass(frozen=True)
 class VariantCertificate:
-    """The two kernel certificates plus the variant's memory bound."""
+    """One program's kernel certificates plus its memory bound.
+
+    ``kernel_certs`` is an open mapping keyed by kernel name — any
+    registered program fits, not just the scan/loop pair.  The
+    :attr:`scan` / :attr:`loop` properties and the per-kernel-name
+    keys of :meth:`to_dict` are the JSON-compat shim that keeps the
+    committed k-core baselines (and their consumers) valid.
+    """
 
     variant: str
     config: VariantConfig
-    scan: KernelCertificate
-    loop: KernelCertificate
+    #: certificate per member kernel, in the program's launch order
+    kernel_certs: Mapping[str, KernelCertificate]
     #: exact peak device global memory, in id-sized words (multiply by
     #: ``id_bytes`` and add ``context_overhead_bytes``; see bounds.py)
     device_memory_words: Expr
+    #: owning program contract
+    program: str = "kcore"
 
     @property
-    def kernels(self) -> Tuple[KernelCertificate, KernelCertificate]:
-        return (self.scan, self.loop)
+    def scan(self) -> KernelCertificate:
+        """Compat shim: the k-core scan kernel's certificate."""
+        return self.certificate_for("scan_kernel")
+
+    @property
+    def loop(self) -> KernelCertificate:
+        """Compat shim: the k-core loop kernel's certificate."""
+        return self.certificate_for("loop_kernel")
+
+    @property
+    def kernels(self) -> Tuple[KernelCertificate, ...]:
+        return tuple(self.kernel_certs.values())
 
     def certificate_for(self, kernel: str) -> KernelCertificate:
-        for cert in self.kernels:
-            if cert.kernel == kernel:
-                return cert
-        raise KeyError(f"variant {self.variant!r} has no certificate "
-                       f"for kernel {kernel!r}")
+        try:
+            return self.kernel_certs[kernel]
+        except KeyError:
+            raise KeyError(
+                f"variant {self.variant!r} has no certificate "
+                f"for kernel {kernel!r}"
+            ) from None
 
     def device_memory_bytes(
         self, env: Mapping[str, float], spec: DeviceSpec
@@ -218,18 +244,18 @@ class VariantCertificate:
     def check_fit(
         self, spec: DeviceSpec, env: Mapping[str, float]
     ) -> List[SanitizerFinding]:
-        """Shared-memory fit findings of both kernels."""
-        findings = self.scan.check_shared_fit(spec, env)
-        findings.extend(self.loop.check_shared_fit(spec, env))
+        """Shared-memory fit findings of every member kernel."""
+        findings: List[SanitizerFinding] = []
+        for cert in self.kernels:
+            findings.extend(cert.check_shared_fit(spec, env))
         return findings
 
     def to_dict(self, env: Mapping[str, float] | None = None) -> Dict[str, object]:
-        return {
-            "variant": self.variant,
-            "scan_kernel": self.scan.to_dict(env),
-            "loop_kernel": self.loop.to_dict(env),
-            "device_memory_words": str(self.device_memory_words),
-        }
+        data: Dict[str, object] = {"variant": self.variant}
+        for name, cert in self.kernel_certs.items():
+            data[name] = cert.to_dict(env)
+        data["device_memory_words"] = str(self.device_memory_words)
+        return data
 
 
 def _kernel_certificate(
@@ -268,41 +294,67 @@ def _kernel_certificate(
 def certify_variant(
     cfg: VariantConfig,
     inventories: Mapping[str, KernelInventory] | None = None,
+    program: str = "kcore",
 ) -> VariantCertificate:
-    """Build the static certificate of one variant.
+    """Build the static certificate of one program variant.
 
-    Raises ``ValueError`` for ring-buffer variants, whose buffer slots
-    have no static bound (see :func:`repro.staticheck.bounds.
-    kernel_bounds`).
+    Raises ``ValueError`` for configs whose kernel contracts declare no
+    static bound (the k-core ring-buffer variants; see
+    :func:`repro.staticheck.bounds.kernel_bounds`).
     """
     if inventories is None:
         inventories = kernel_inventories()
+    prog = contracts.program_contract(program)
     return VariantCertificate(
         variant=cfg.name,
         config=cfg,
-        scan=_kernel_certificate("scan_kernel", cfg, inventories),
-        loop=_kernel_certificate("loop_kernel", cfg, inventories),
-        device_memory_words=device_memory_bound(cfg),
+        kernel_certs={
+            kernel: _kernel_certificate(kernel, cfg, inventories)
+            for kernel in prog.kernels
+        },
+        device_memory_words=prog.device_memory(cfg),
+        program=program,
     )
 
 
 def all_variant_configs() -> Dict[str, VariantConfig]:
-    """The eleven certified variants: Table II's nine plus vw2/vw4."""
-    configs: Dict[str, VariantConfig] = dict(VARIANTS)
-    configs.update(EXTENSION_VARIANTS)
-    return configs
+    """The eleven bounds-certifiable k-core variants: Table II's nine
+    plus vw2/vw4 (the contract's declared-honest ring configs, which
+    have no static bound, are excluded)."""
+    return _certifiable_configs("kcore")
+
+
+def _certifiable_configs(program: str) -> Dict[str, VariantConfig]:
+    prog = contracts.program_contract(program)
+    honest = [
+        contracts.kernel_contract(kernel).honest_unproven
+        for kernel in prog.kernels
+    ]
+    return {
+        name: cfg
+        for name, cfg in prog.variants().items()
+        if not any(pred(cfg) for pred in honest)
+    }
+
+
+def certify_program(
+    program: str,
+    inventories: Mapping[str, KernelInventory] | None = None,
+) -> Dict[str, VariantCertificate]:
+    """Certificates for one program's bounds-certifiable variants."""
+    if inventories is None:
+        inventories = kernel_inventories()
+    return {
+        name: certify_variant(cfg, inventories, program=program)
+        for name, cfg in _certifiable_configs(program).items()
+    }
 
 
 def certify_all(
     inventories: Mapping[str, KernelInventory] | None = None,
 ) -> Dict[str, VariantCertificate]:
-    """Certificates for all eleven variants, keyed by variant name."""
-    if inventories is None:
-        inventories = kernel_inventories()
-    return {
-        name: certify_variant(cfg, inventories)
-        for name, cfg in all_variant_configs().items()
-    }
+    """K-core certificates for all eleven variants, keyed by name."""
+    return certify_program("kcore", inventories)
 
 
 def render_certificates(certs: Mapping[str, VariantCertificate]) -> str:

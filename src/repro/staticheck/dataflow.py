@@ -2,9 +2,9 @@
 
 Where :mod:`repro.staticheck.bounds` certifies *how much* a kernel can
 do (closed-form resource bounds), this module certifies *what it may
-touch when*: an abstract interpretation over the kernel ASTs
-(``repro/core/scan_kernel.py``, ``repro/core/loop_kernel.py``) that
-mirrors the dynamic race detector's happens-before model
+touch when*: an abstract interpretation over the ASTs of every kernel
+admitted to the contract registry (:mod:`repro.staticheck.contracts`)
+that mirrors the dynamic race detector's happens-before model
 (:mod:`repro.sanitize.racecheck`) statically.  Three certificate kinds
 come out of it, per kernel x variant:
 
@@ -22,11 +22,14 @@ come out of it, per kernel x variant:
   ``divergence-bound`` detector), derived from the lane-uniformity
   class of every global access site;
 * **engine preconditions** — the structural
-  :class:`~repro.gpusim.engine.FallbackToReference` guards of
-  ``repro/core/fastsim.py`` are extracted from its AST and evaluated
-  per variant, so which execution tier *must* serve a launch is a
-  static prediction checked against ``KernelStats.served_by`` (the
-  ``engine-precondition`` detector) instead of a try/except discovery.
+  :class:`~repro.gpusim.engine.FallbackToReference` guards of the
+  contract's declared engine module (``repro/core/fastsim.py`` for the
+  peeling kernels) are extracted from its AST and evaluated per
+  variant, so which execution tier *must* serve a launch is a static
+  prediction checked against ``KernelStats.served_by`` (the
+  ``engine-precondition`` detector) instead of a try/except discovery;
+  a contract with no engine module is statically pinned to the
+  reference interpreter.
 
 Lane-uniformity lattice
 -----------------------
@@ -65,6 +68,7 @@ compaction helpers are stated axioms, named in each proof's detail.
 from __future__ import annotations
 
 import ast
+import importlib
 from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
@@ -87,6 +91,7 @@ __all__ = [
     "Uniformity",
     "analyze_function",
     "analyze_kernel",
+    "certified_combos",
     "dataflow_report",
     "engine_preconditions",
     "may_same_epoch",
@@ -95,7 +100,9 @@ __all__ = [
     "verify_contracts",
 ]
 
-#: the kernels the analyzer covers, keyed by function name
+#: the k-core peeling kernels — the legacy spelling kept for existing
+#: callers; the authoritative kernel list is the contract registry in
+#: :mod:`repro.staticheck.contracts` (see :func:`certified_combos`)
 DATAFLOW_KERNELS: Tuple[str, ...] = ("scan_kernel", "loop_kernel")
 
 _CTX_MEMORY_OPS = (
@@ -265,6 +272,54 @@ class DataflowCertificate:
     def structural_fallback(self) -> bool:
         """Does any structural engine precondition fire for this variant?"""
         return any(r.structural and r.fires for r in self.preconditions)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dump; the golden-file stability contract."""
+        return {
+            "kernel": self.kernel,
+            "variant": self.variant,
+            "loop_shape": None if self.loop_shape is None else {
+                "pre": self.loop_shape.pre,
+                "body": self.loop_shape.body,
+                "exit_r": self.loop_shape.exit_r,
+            },
+            "accesses": [
+                {
+                    "space": a.space, "array": a.array, "kind": a.kind,
+                    "epoch": str(a.epoch), "site": a.site, "func": a.func,
+                    "index": a.index, "uniformity": a.uniformity.name,
+                    "tags": sorted(a.tags), "guards": sorted(a.guards),
+                    "multi": a.multi, "coal": a.coal,
+                }
+                for a in self.accesses
+            ],
+            "proofs": [
+                {"space": p.space, "array": p.array, "kinds": p.kinds,
+                 "a_site": p.a_site, "b_site": p.b_site,
+                 "argument": p.argument, "detail": p.detail}
+                for p in self.proofs
+            ],
+            "unproven": [
+                {"space": o.space, "array": o.array, "kinds": o.kinds,
+                 "a_site": o.a_site, "b_site": o.b_site, "reason": o.reason}
+                for o in self.unproven
+            ],
+            "bracket": {
+                "divergence_lo": self.bracket.divergence_lo,
+                "divergence_hi": self.bracket.divergence_hi,
+                "coalescing_lo": self.bracket.coalescing_lo,
+                "coalescing_hi": self.bracket.coalescing_hi,
+            },
+            "preconditions": [
+                {"kernel": r.kernel, "func": r.func, "line": r.line,
+                 "message": r.message, "structural": r.structural,
+                 "test": r.test, "fires": r.fires}
+                for r in self.preconditions
+            ],
+            "notes": list(self.notes),
+            "race_free": self.race_free,
+            "structural_fallback": self.structural_fallback(),
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -1402,19 +1457,88 @@ def _bracket(accesses: Sequence[Access]) -> EfficiencyBracket:
 
 
 # ---------------------------------------------------------------------------
-# engine preconditions (fastsim AST)
+# engine preconditions (executor-module AST)
 # ---------------------------------------------------------------------------
 
-_precond_cache: Dict[VariantConfig, Tuple[FallbackRule, ...]] = {}
+#: the k-core executor module — the default so the fixture self-tests
+#: (and any caller without a contract) keep their legacy behavior
+_KCORE_ENGINE_MODULE = "repro.core.fastsim"
+
+_precond_cache: Dict[
+    Tuple[VariantConfig, Optional[str], str], Tuple[FallbackRule, ...]
+] = {}
 
 
-def engine_preconditions(cfg: VariantConfig) -> Tuple[FallbackRule, ...]:
-    """All fastsim fallback sites, structural guards evaluated on ``cfg``."""
-    if cfg in _precond_cache:
-        return _precond_cache[cfg]
-    import repro.core.fastsim as _fastsim
+def _executor_attribution(tree: ast.Module,
+                          executors: Dict[str, str]) -> Dict[str, str]:
+    """Kernel attribution of every function in an executor module.
 
-    with open(_fastsim.__file__, encoding="utf-8") as fh:
+    Built from the call graph rooted at the ``register_vectorized_kernel``
+    executors (the *explicit* registration arguments) rather than from
+    substring matching on function names: a helper reachable from
+    exactly one executor serves that executor's kernel; one reachable
+    from several (or none — dead or host-side code) is ``"both"``.
+    Method calls are resolved by bare attribute name, which is exact
+    enough for a module whose function names are unique.
+    """
+    defs: Dict[str, ast.AST] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defs.setdefault(node.name, node)
+    edges: Dict[str, Set[str]] = {}
+    for name, fn in defs.items():
+        callees: Set[str] = set()
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id in defs:
+                callees.add(node.func.id)
+            elif (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in defs):
+                callees.add(node.func.attr)
+        edges[name] = callees
+    serves: Dict[str, Set[str]] = {name: set() for name in defs}
+    for impl, kern in executors.items():
+        kernel = kern.split(".")[-1]
+        frontier = [impl]
+        while frontier:
+            name = frontier.pop()
+            if name not in serves or kernel in serves[name]:
+                continue
+            serves[name].add(kernel)
+            frontier.extend(edges.get(name, ()))
+    return {
+        name: next(iter(kernels)) if len(kernels) == 1 else "both"
+        for name, kernels in serves.items()
+    }
+
+
+def engine_preconditions(
+    cfg: VariantConfig,
+    engine_module: Optional[str] = _KCORE_ENGINE_MODULE,
+    kernel: str = "both",
+) -> Tuple[FallbackRule, ...]:
+    """All fallback sites of ``engine_module``, structural guards
+    evaluated on ``cfg``.
+
+    ``engine_module`` is the contract-declared module registering the
+    kernel's vectorized executor; ``None`` means no executor exists and
+    the result is a single always-firing structural rule — the honest
+    static prediction that every launch is served by reference.
+    """
+    key = (cfg, engine_module, kernel if engine_module is None else "both")
+    if key in _precond_cache:
+        return _precond_cache[key]
+    if engine_module is None:
+        out = (FallbackRule(
+            kernel, "<contracts>", 0,
+            "no vectorized executor is registered for this kernel",
+            True, "", True,
+        ),)
+        _precond_cache[key] = out
+        return out
+    mod = importlib.import_module(engine_module)
+    with open(mod.__file__ or "", encoding="utf-8") as fh:
         tree = ast.parse(fh.read())
     executors: Dict[str, str] = {}
     for node in ast.walk(tree):  # registration may sit inside register()
@@ -1424,6 +1548,7 @@ def engine_preconditions(cfg: VariantConfig) -> Tuple[FallbackRule, ...]:
             kern = dotted(node.args[0]) or "?"
             impl = dotted(node.args[1]) or "?"
             executors[impl] = kern
+    attribution = _executor_attribution(tree, executors)
     rules: List[FallbackRule] = []
 
     def visit(fn: ast.FunctionDef, kernel: str, structural_ok: bool) -> None:
@@ -1473,15 +1598,13 @@ def engine_preconditions(cfg: VariantConfig) -> Tuple[FallbackRule, ...]:
         if not isinstance(node, ast.FunctionDef):
             continue
         if node.name in executors:
-            kernel = executors[node.name].split(".")[-1]
-            visit(node, kernel, structural_ok=True)
+            visit(node, executors[node.name].split(".")[-1],
+                  structural_ok=True)
         else:
-            lowered = node.name.lower()
-            kernel = ("scan_kernel" if "scan" in lowered
-                      else "loop_kernel" if "loop" in lowered else "both")
-            visit(node, kernel, structural_ok=False)
+            visit(node, attribution.get(node.name, "both"),
+                  structural_ok=False)
     out = tuple(rules)
-    _precond_cache[cfg] = out
+    _precond_cache[key] = out
     return out
 
 
@@ -1519,6 +1642,20 @@ class _StructEval:
         raise _Bail()
 
 
+def _contract_preconditions(
+    kernel: str, cfg: VariantConfig
+) -> Tuple[FallbackRule, ...]:
+    """Engine preconditions via the kernel's contract; unregistered
+    kernels keep the legacy k-core executor-module behavior."""
+    from repro.staticheck import contracts
+
+    try:
+        contract = contracts.kernel_contract(kernel)
+    except KeyError:
+        return engine_preconditions(cfg)
+    return engine_preconditions(cfg, contract.engine_module, kernel)
+
+
 def predicted_tier(
     kernel: str,
     cfg: VariantConfig,
@@ -1529,7 +1666,7 @@ def predicted_tier(
     """Which engine tier *must* serve a launch of ``kernel`` under ``cfg``."""
     if engine == "reference" or monitored or preempt_prob > 0.0:
         return "reference"
-    for rule in engine_preconditions(cfg):
+    for rule in _contract_preconditions(kernel, cfg):
         if rule.kernel == kernel and rule.structural and rule.fires:
             return "reference"
     return engine
@@ -1544,32 +1681,47 @@ _cert_cache: Dict[Tuple[str, VariantConfig], DataflowCertificate] = {}
 
 def analyze_kernel(kernel: str,
                    cfg: "VariantConfig | str") -> DataflowCertificate:
-    """Dataflow certificate for one kernel x variant (cached)."""
+    """Dataflow certificate for one kernel x variant (cached).
+
+    The kernel's module, entry function and executor module all come
+    from its registered :class:`~repro.staticheck.contracts.
+    KernelContract` — any admitted kernel analyzes here, not just the
+    k-core pair.  A string ``cfg`` is resolved against the contract's
+    own variant space first, then the k-core variant registry.
+    """
+    from repro.staticheck import contracts
+
+    try:
+        contract = contracts.kernel_contract(kernel)
+    except KeyError:
+        registered = ", ".join(sorted(contracts.all_kernel_contracts()))
+        raise ValueError(
+            f"unknown kernel {kernel!r}; expected one of ({registered})"
+        ) from None
     if isinstance(cfg, str):
-        cfg = get_variant(cfg)
+        space = contract.variants()
+        cfg = space[cfg] if cfg in space else get_variant(cfg)
     key = (kernel, cfg)
     if key in _cert_cache:
         return _cert_cache[key]
-    if kernel not in DATAFLOW_KERNELS:
-        raise ValueError(
-            f"unknown kernel {kernel!r}; expected one of {DATAFLOW_KERNELS}"
-        )
-    import repro.core.loop_kernel as _loop_mod
-    import repro.core.scan_kernel as _scan_mod
-
-    module = _scan_mod if kernel == "scan_kernel" else _loop_mod
-    cert = analyze_function(module, kernel, cfg)
+    module = importlib.import_module(contract.module)
+    cert = analyze_function(module, contract.entry, cfg,
+                            engine_module=contract.engine_module)
     _cert_cache[key] = cert
     return cert
 
 
-def analyze_function(module: Any, kernel: str,
-                     cfg: VariantConfig) -> DataflowCertificate:
+def analyze_function(module: Any, kernel: str, cfg: VariantConfig,
+                     engine_module: Optional[str] = _KCORE_ENGINE_MODULE,
+                     ) -> DataflowCertificate:
     """Dataflow certificate for any kernel generator in ``module``.
 
     The uncached engine behind :func:`analyze_kernel`; exposed so the
     detector self-tests can run the analyzer over the known-bad
     fixture kernels of :mod:`repro.staticheck.fixtures`.
+    ``engine_module`` follows the kernel's contract when called via
+    :func:`analyze_kernel`; the default keeps the k-core executor
+    module for contract-less callers.
     """
     violations = verify_contracts()
     interp = _Interp(module, cfg)
@@ -1600,7 +1752,8 @@ def analyze_function(module: Any, kernel: str,
     return DataflowCertificate(
         kernel=kernel, variant=cfg.name, loop_shape=shape,
         accesses=accesses, proofs=tuple(proofs), unproven=tuple(unproven),
-        bracket=bracket, preconditions=engine_preconditions(cfg),
+        bracket=bracket,
+        preconditions=engine_preconditions(cfg, engine_module, kernel),
         notes=tuple(notes),
     )
 
@@ -1618,18 +1771,43 @@ def _unproven_findings(cert: DataflowCertificate) -> List[SanitizerFinding]:
     ]
 
 
+def certified_combos(
+    variants: Optional[Sequence[str]] = None,
+) -> List[Tuple[str, VariantConfig]]:
+    """The (kernel, config) pairs the pipeline certifies.
+
+    With ``variants`` (a sequence of k-core variant names) this is the
+    legacy spelling: those configs crossed with the peeling kernels.
+    With ``variants=None`` it iterates the contract registry — every
+    admitted kernel over its own variant space, minus the configs whose
+    contract declares undischarged obligations honest (ring buffers).
+    """
+    if variants is not None:
+        return [
+            (kernel, get_variant(name))
+            for name in variants
+            for kernel in DATAFLOW_KERNELS
+        ]
+    from repro.staticheck import contracts
+
+    return [
+        (kernel, cfg)
+        for kernel, contract in contracts.all_kernel_contracts().items()
+        for cfg in contract.variants().values()
+        if not contract.honest_unproven(cfg)
+    ]
+
+
 def dataflow_report(
     variants: Optional[Sequence[str]] = None,
 ) -> SanitizerReport:
-    """Analyze every kernel x variant; unproven pairs become findings."""
-    names = list(variants) if variants is not None \
-        else [*VARIANTS, *EXTENSION_VARIANTS]
+    """Analyze every admitted kernel x variant; unproven pairs become
+    findings."""
     report = SanitizerReport()
-    for name in names:
-        for kernel in DATAFLOW_KERNELS:
-            cert = analyze_kernel(kernel, name)
-            report.modules_linted += 1
-            report.extend(_unproven_findings(cert))
+    for kernel, cfg in certified_combos(variants):
+        cert = analyze_kernel(kernel, cfg)
+        report.modules_linted += 1
+        report.extend(_unproven_findings(cert))
     return report
 
 
@@ -1637,48 +1815,45 @@ def render_dataflow_certificates(
     variants: Optional[Sequence[str]] = None,
 ) -> str:
     """Human-readable dump of the dataflow certificates (CLI --dataflow)."""
-    names = list(variants) if variants is not None \
-        else [*VARIANTS, *EXTENSION_VARIANTS]
     lines: List[str] = []
-    for name in names:
-        for kernel in DATAFLOW_KERNELS:
-            cert = analyze_kernel(kernel, name)
-            shape = (
-                f"pre={cert.loop_shape.pre} L={cert.loop_shape.body} "
-                f"exit@{cert.loop_shape.exit_r}"
-                if cert.loop_shape else "straight-line"
-            )
-            verdict = "race-free" if cert.race_free else (
-                f"{len(cert.unproven)} UNPROVEN pair(s)")
-            lines.append(f"== {kernel} [{name}] ==")
+    for kernel, cfg in certified_combos(variants):
+        cert = analyze_kernel(kernel, cfg)
+        shape = (
+            f"pre={cert.loop_shape.pre} L={cert.loop_shape.body} "
+            f"exit@{cert.loop_shape.exit_r}"
+            if cert.loop_shape else "straight-line"
+        )
+        verdict = "race-free" if cert.race_free else (
+            f"{len(cert.unproven)} UNPROVEN pair(s)")
+        lines.append(f"== {kernel} [{cfg.name}] ==")
+        lines.append(
+            f"  barrier skeleton: {shape}; "
+            f"{len(cert.accesses)} abstract accesses; {verdict}"
+        )
+        b = cert.bracket
+        lines.append(
+            f"  efficiency bracket: divergence in "
+            f"[{b.divergence_lo:.4f}, {b.divergence_hi:.4f}], "
+            f"coalescing in [{b.coalescing_lo:.4f}, "
+            f"{b.coalescing_hi:.4f}]"
+        )
+        tier = predicted_tier(kernel, cfg)
+        lines.append(f"  engine precondition: vectorized launch is "
+                     f"served by '{tier}'")
+        for proof in cert.proofs:
             lines.append(
-                f"  barrier skeleton: {shape}; "
-                f"{len(cert.accesses)} abstract accesses; {verdict}"
+                f"  proof [{proof.argument}] {proof.kinds} on "
+                f"{proof.space} '{proof.array}' "
+                f"({proof.a_site} <-> {proof.b_site})"
             )
-            b = cert.bracket
+            lines.append(f"    {proof.detail}")
+        for ob in cert.unproven:
             lines.append(
-                f"  efficiency bracket: divergence in "
-                f"[{b.divergence_lo:.4f}, {b.divergence_hi:.4f}], "
-                f"coalescing in [{b.coalescing_lo:.4f}, "
-                f"{b.coalescing_hi:.4f}]"
+                f"  UNPROVEN {ob.kinds} on {ob.space} '{ob.array}' "
+                f"({ob.a_site} <-> {ob.b_site}): {ob.reason}"
             )
-            tier = predicted_tier(kernel, get_variant(name))
-            lines.append(f"  engine precondition: vectorized launch is "
-                         f"served by '{tier}'")
-            for proof in cert.proofs:
-                lines.append(
-                    f"  proof [{proof.argument}] {proof.kinds} on "
-                    f"{proof.space} '{proof.array}' "
-                    f"({proof.a_site} <-> {proof.b_site})"
-                )
-                lines.append(f"    {proof.detail}")
-            for ob in cert.unproven:
-                lines.append(
-                    f"  UNPROVEN {ob.kinds} on {ob.space} '{ob.array}' "
-                    f"({ob.a_site} <-> {ob.b_site}): {ob.reason}"
-                )
-            for note in cert.notes:
-                lines.append(f"  note: {note}")
+        for note in cert.notes:
+            lines.append(f"  note: {note}")
     return "\n".join(lines)
 
 
@@ -1707,15 +1882,20 @@ class DataflowChecker:
         engine: str = "vectorized",
         monitored: bool = False,
         preempt_prob: float = 0.0,
+        program: str = "kcore",
     ) -> None:
+        from repro.staticheck import contracts
+
         self.cfg = cfg
         self.engine = engine
         self.monitored = monitored
         self.preempt_prob = preempt_prob
+        self.program = program
         self.report = SanitizerReport()
         self.certificates: Dict[str, DataflowCertificate] = {}
         self.expected: Dict[str, str] = {}
-        for kernel in DATAFLOW_KERNELS:
+        kernels = contracts.program_contract(program).kernels
+        for kernel in kernels:
             cert = analyze_kernel(kernel, cfg)
             self.certificates[kernel] = cert
             self.expected[kernel] = predicted_tier(
@@ -1723,7 +1903,7 @@ class DataflowChecker:
                 preempt_prob=preempt_prob,
             )
             self.report.extend(_unproven_findings(cert))
-        self.report.modules_linted += len(DATAFLOW_KERNELS)
+        self.report.modules_linted += len(kernels)
 
     def observe(self, kernel: str, stats: Any) -> None:
         """Check one launch's measurement against the certificate."""

@@ -17,8 +17,8 @@ run surfaces them even on graphs too small to stress anything:
 * coverage and call-edge findings from
   :func:`~repro.staticheck.certificate.verify_inventories`
   (``uncertified-kernel``);
-* the shared-memory fit of both kernels against the device
-  (``static-resource``).
+* the shared-memory fit of every kernel in the certificate against
+  the device (``static-resource``).
 
 Like the race sanitizer, observation charges no simulated cycles:
 a staticheck-on run's ``simulated_ms`` is byte-identical to a plain
@@ -31,6 +31,7 @@ from repro.core.variants import VariantConfig
 from repro.gpusim.scheduler import KernelStats
 from repro.gpusim.spec import DeviceSpec
 from repro.sanitize.report import SanitizerFinding, SanitizerReport
+from repro.staticheck import contracts
 from repro.staticheck.bounds import launch_env
 from repro.staticheck.certificate import (
     VariantCertificate,
@@ -68,7 +69,7 @@ class DifferentialChecker:
         # static pre-checks: kernel coverage and shared-memory fit
         self.report.extend(verify_inventories())
         self.report.extend(self.certificate.check_fit(spec, self.env))
-        self.report.modules_linted += 4  # the four certified core modules
+        self.report.modules_linted += len(contracts.certified_module_paths())
 
     def observe(self, kernel: str, stats: KernelStats) -> None:
         """Check one launch's measurement against the certificate."""

@@ -1,0 +1,101 @@
+"""Unit tests for the kernel-admission contract registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.variants import get_variant
+from repro.staticheck import contracts
+from repro.staticheck.bounds import KernelBounds
+from repro.staticheck.symbolic import Const
+
+
+def _toy_contract(name: str, program: str) -> contracts.KernelContract:
+    return contracts.KernelContract(
+        name=name,
+        program=program,
+        module="repro.staticheck.fixtures",
+        entry="racy_fixture_kernel",
+        bounds=lambda cfg: KernelBounds(Const(1), Const(1), Const(1)),
+        shared_layout=lambda cfg: {},
+        reachability={"racy_fixture_kernel": ()},
+        variants=lambda: {"ours": get_variant("ours")},
+        params=(),
+        engine_module=None,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _restore_registry():
+    """Snapshot/restore the process-wide registries around each test."""
+    kernels = dict(contracts._KERNEL_CONTRACTS)
+    programs = dict(contracts._PROGRAM_CONTRACTS)
+    yield
+    contracts._KERNEL_CONTRACTS.clear()
+    contracts._KERNEL_CONTRACTS.update(kernels)
+    contracts._PROGRAM_CONTRACTS.clear()
+    contracts._PROGRAM_CONTRACTS.update(programs)
+
+
+def test_bootstrap_registers_the_known_kernels() -> None:
+    contracts.load_contracts()
+    names = set(contracts.all_kernel_contracts())
+    assert {"scan_kernel", "loop_kernel", "bfs_kernel"} <= names
+    progs = contracts.all_program_contracts()
+    assert set(progs["kcore"].kernels) == {"scan_kernel", "loop_kernel"}
+    assert set(progs["bfs"].kernels) == {"bfs_kernel"}
+
+
+def test_lookup_error_lists_registered_names() -> None:
+    contracts.load_contracts()
+    with pytest.raises(KeyError, match="scan_kernel"):
+        contracts.kernel_contract("no_such_kernel")
+    with pytest.raises(KeyError, match="kcore"):
+        contracts.program_contract("no_such_program")
+
+
+def test_reregistration_same_program_is_idempotent() -> None:
+    contract = _toy_contract("toy_kernel", "toy")
+    contracts.register_kernel_contract(contract)
+    contracts.register_kernel_contract(contract)  # no error
+    assert contracts.kernel_contract("toy_kernel") is contract
+
+
+def test_cross_program_name_collision_is_rejected() -> None:
+    contracts.register_kernel_contract(_toy_contract("toy_kernel", "toy"))
+    with pytest.raises(ValueError, match="toy"):
+        contracts.register_kernel_contract(
+            _toy_contract("toy_kernel", "other_program")
+        )
+
+
+def test_merged_reachability_rejects_disagreement() -> None:
+    contracts.load_contracts()
+    clash = _toy_contract("clash_kernel", "toy")
+    object.__setattr__(
+        clash, "reachability",
+        {"scan_kernel": ("something_else",), "racy_fixture_kernel": ()},
+    )
+    contracts.register_kernel_contract(clash)
+    with pytest.raises(ValueError, match="scan_kernel"):
+        contracts.merged_reachability()
+
+
+def test_certified_module_paths_cover_every_contract_module() -> None:
+    contracts.load_contracts()
+    paths = set(contracts.certified_module_paths())
+    for contract in contracts.all_kernel_contracts().values():
+        assert contract.module in paths, contract.module
+        for helper in contract.helper_modules:
+            assert helper in paths, helper
+
+
+def test_program_variants_match_member_kernel_variants() -> None:
+    contracts.load_contracts()
+    for prog in contracts.all_program_contracts().values():
+        prog_variants = set(prog.variants())
+        for kname in prog.kernels:
+            kernel_variants = set(
+                contracts.kernel_contract(kname).variants()
+            )
+            assert prog_variants == kernel_variants, (prog.name, kname)

@@ -1,0 +1,96 @@
+"""Golden-file stability of the certificate JSON surfaces.
+
+The committed goldens under ``tests/staticheck/golden/`` freeze the
+exact :meth:`VariantCertificate.to_dict` /
+:meth:`DataflowCertificate.to_dict` renderings of every registered
+program x variant.  An analyzer change that moves any field — a bound,
+a proof argument, a precondition rule — fails here until
+``scripts/regen_goldens.py`` is rerun, which forces the semantic diff
+into code review.  The tests import the generator itself, so the
+goldens and the comparison can never disagree about what is rendered.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+_spec = importlib.util.spec_from_file_location(
+    "regen_goldens", REPO_ROOT / "scripts" / "regen_goldens.py"
+)
+assert _spec is not None and _spec.loader is not None
+regen_goldens = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("regen_goldens", regen_goldens)
+_spec.loader.exec_module(regen_goldens)
+
+REGEN_HINT = (
+    "certificate rendering drifted from the committed golden; if the "
+    "change is intended, rerun `python scripts/regen_goldens.py` and "
+    "commit the diff"
+)
+
+
+def _load(name: str) -> dict:
+    return json.loads((GOLDEN_DIR / name).read_text(encoding="utf-8"))
+
+
+def test_kernel_certificate_goldens_are_current() -> None:
+    golden = _load("kernel_certificates.json")
+    current = regen_goldens.kernel_certificates()
+    assert sorted(current) == sorted(golden), REGEN_HINT
+    for key in golden:
+        assert current[key] == golden[key], f"{key}: {REGEN_HINT}"
+
+
+def test_dataflow_certificate_goldens_are_current() -> None:
+    golden = _load("dataflow_certificates.json")
+    current = regen_goldens.dataflow_certificates()
+    assert sorted(current) == sorted(golden), REGEN_HINT
+    for key in golden:
+        assert current[key] == golden[key], f"{key}: {REGEN_HINT}"
+
+
+def test_goldens_survive_a_json_round_trip() -> None:
+    # to_dict() must emit only JSON-native types (no numpy scalars,
+    # no Expr objects) so the artifact is loadable anywhere
+    for name in ("kernel_certificates.json", "dataflow_certificates.json"):
+        record = _load(name)
+        assert json.loads(json.dumps(record, sort_keys=True)) == record
+
+
+def test_golden_coverage_matches_the_registry() -> None:
+    """Every registered kernel and program appears in the goldens."""
+    from repro.staticheck import contracts
+
+    kernels = {k.split("[")[0] for k in _load("dataflow_certificates.json")}
+    assert kernels == set(contracts.all_kernel_contracts())
+    programs = {k.split("/")[0] for k in _load("kernel_certificates.json")}
+    assert programs == set(contracts.all_program_contracts())
+
+
+def test_kcore_dataflow_goldens_cover_all_22_combos() -> None:
+    golden = _load("dataflow_certificates.json")
+    honest = {k for k, cert in golden.items() if cert["unproven"]}
+    kcore = [k for k in golden if not k.startswith("bfs_kernel")]
+    proven = [k for k in kcore if k not in honest]
+    # 11 certifiable configs x scan/loop; ring configs carry their
+    # unproven obligations as part of the frozen surface
+    assert len(proven) == 22
+    assert honest == {
+        "scan_kernel[ours+ring]", "scan_kernel[bc+ring]",
+        "loop_kernel[ours+ring]", "loop_kernel[bc+ring]",
+    }
+
+
+@pytest.mark.parametrize("field", ["race_free", "bracket", "proofs"])
+def test_dataflow_goldens_expose_the_core_fields(field: str) -> None:
+    golden = _load("dataflow_certificates.json")
+    for key, cert in golden.items():
+        assert field in cert, f"{key} golden lacks {field!r}"
