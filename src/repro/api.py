@@ -53,6 +53,16 @@ def _gpu_variant_runner(variant: str) -> Runner:
     return run
 
 
+def _semi_external_runner(graph: CSRGraph, **kwargs) -> DecompositionResult:
+    """Spill the graph to a temporary directory and run the disk path."""
+    import tempfile
+
+    from repro.cpu.external import decompose_graph_via_disk
+
+    with tempfile.TemporaryDirectory() as work_dir:
+        return decompose_graph_via_disk(graph, work_dir, **kwargs)
+
+
 def _fast_runner(
     graph: CSRGraph, sanitize: bool = False, **kwargs
 ) -> DecompositionResult:
@@ -88,6 +98,8 @@ def _build_registry() -> Dict[str, Runner]:
             g, parallel=False, compact=True, **kw
         ),
         "pkc": lambda g, **kw: pkc_decompose(g, parallel=True, compact=True, **kw),
+        # the Section II-C semi-external (disk-streaming) model
+        "semi-external": _semi_external_runner,
         # GPU systems (Table III)
         "vetga": vetga_decompose,
         "medusa-mpm": lambda g, **kw: medusa_decompose(g, program="mpm", **kw),
@@ -141,17 +153,32 @@ DATAFLOWABLE: FrozenSet[str] = frozenset(
 )
 
 
+#: the multicore CPU baselines (Table IV), whose runners accept
+#: ``profile=True`` (per-epoch bound attribution,
+#: :mod:`repro.multicore.profile`) and ``memtrace=True``
+#: (allocation-lifetime telemetry for the modelled working arrays)
+_MULTICORE_NAMES = (
+    "park", "park-serial",
+    "pkc", "pkc-serial", "pkc-o", "pkc-o-serial",
+    "mpm", "mpm-serial",
+)
+
+
 #: algorithms whose runner accepts ``profile=True`` (the kernel
 #: profiler's speed-of-light reports, :mod:`repro.profile`): the
 #: single-GPU peeling variants, which launch real SIMT kernels whose
 #: per-block timings the profiler attributes, plus the system
 #: emulations, whose labelled :meth:`~repro.gpusim.device.Device.charge`
-#: calls become coarse ``source="charge"`` records.  The CPU baselines
-#: model no device, and the multi-GPU runner composes per-device runs
-#: the profiler does not yet merge.
-PROFILABLE: FrozenSet[str] = frozenset(
-    f"gpu-{name}" for name in variant_names()
-) | frozenset(_SYSTEM_NAMES)
+#: calls become coarse ``source="charge"`` records, plus the multicore
+#: CPU baselines, whose :class:`~repro.multicore.machine.
+#: SimulatedMulticore` attributes every epoch to a roofline-style
+#: bound class (``repro.cpu-epochs/v1``).  The multi-GPU runner
+#: composes per-device runs the profiler does not yet merge.
+PROFILABLE: FrozenSet[str] = (
+    frozenset(f"gpu-{name}" for name in variant_names())
+    | frozenset(_SYSTEM_NAMES)
+    | frozenset(_MULTICORE_NAMES)
+)
 
 
 #: algorithms whose runner accepts ``engine=...`` (an execution-engine
@@ -169,12 +196,17 @@ ENGINEABLE: FrozenSet[str] = frozenset(
 
 #: algorithms whose runner accepts ``memtrace=True`` (memory telemetry
 #: with exact peak attribution, :mod:`repro.memtrace`): everything that
-#: allocates simulated device memory — the single- and multi-GPU
-#: peeling runners and the system emulations.  The CPU baselines and
-#: the native fast path model no device memory.
-MEMTRACEABLE: FrozenSet[str] = frozenset(
-    name for name in ALGORITHMS if name.startswith("gpu-")
-) | frozenset(_SYSTEM_NAMES)
+#: models memory — the single- and multi-GPU peeling runners and the
+#: system emulations (simulated device memory), the multicore CPU
+#: baselines and the semi-external disk path (modelled host working
+#: arrays).  The serial reference implementations (``bz``,
+#: ``networkx``) and the native fast path model no memory.
+MEMTRACEABLE: FrozenSet[str] = (
+    frozenset(name for name in ALGORITHMS if name.startswith("gpu-"))
+    | frozenset(_SYSTEM_NAMES)
+    | frozenset(_MULTICORE_NAMES)
+    | frozenset({"semi-external"})
+)
 
 
 def algorithm_names() -> Tuple[str, ...]:

@@ -92,14 +92,16 @@ def _validate_trajectory(record: Dict[str, Any]) -> List[str]:
     An entry carries ``cycles`` (the perf gate's per-variant kernel
     cycles), ``peaks`` (the memory gate's per-program peak bytes),
     ``engine_speedup`` (a dated host wall-clock comparison of the
-    execution engines, see ``docs/SIMULATOR.md``), or any combination
-    — at least one must be present.
+    execution engines, see ``docs/SIMULATOR.md``), ``runreport`` (the
+    run-report gate's per-algorithm summary, see
+    ``scripts/check_runreport.py``), or any combination — at least one
+    must be present.
     """
     errors: List[str] = []
     entries = record.get("records")
     if not isinstance(entries, list):
         return ["records must be a list"]
-    payload_keys = ("cycles", "peaks", "engine_speedup")
+    payload_keys = ("cycles", "peaks", "engine_speedup", "runreport")
     for i, entry in enumerate(entries):
         if not isinstance(entry, dict):
             errors.append(f"records[{i}] must be an object")
@@ -152,6 +154,28 @@ def _validate_trajectory(record: Dict[str, Any]) -> List[str]:
                             f"records[{i}].engine_speedup.{side} must "
                             f"map variants to numbers"
                         )
+        if "runreport" in entry:
+            rr = entry["runreport"]
+            if not isinstance(rr, dict):
+                errors.append(f"records[{i}].runreport must be an object")
+            else:
+                sections = rr.get("sections")
+                if not isinstance(sections, dict) or not sections or not all(
+                    isinstance(s, dict)
+                    and _is_number(s.get("simulated_ms"))
+                    and _is_number(s.get("peak_memory_bytes"))
+                    for s in sections.values()
+                ):
+                    errors.append(
+                        f"records[{i}].runreport.sections must map "
+                        f"algorithms to objects with numeric "
+                        f"simulated_ms and peak_memory_bytes"
+                    )
+                if not _is_number(rr.get("invariants_checked")):
+                    errors.append(
+                        f"records[{i}].runreport.invariants_checked "
+                        f"must be a number"
+                    )
         if not isinstance(entry.get("ok"), bool):
             errors.append(f"records[{i}].ok must be a boolean")
     return errors

@@ -57,6 +57,22 @@ Supported for everything that allocates simulated device memory
 by contract — the same simulated milliseconds, counters and memory
 peaks — so the flag only changes host wall-clock time; see
 ``docs/SIMULATOR.md``.
+
+``--report [FILE]`` runs every requested algorithm with full telemetry
+(trace, profile, memtrace — whatever each supports), merges the
+results into one unified ``repro.runreport/v1`` record (see the "Run
+reports" section of ``docs/OBSERVABILITY.md``), validates its
+cross-layer consistency invariants, and prints the rendered summary.
+With a ``FILE`` argument the JSON artifact is written there too.  Only
+with ``--report`` may ``--algorithm`` be a comma-separated list, so a
+single invocation can cover the GPU kernels, a multicore baseline and
+the semi-external disk path side by side.  Invariant violations exit
+1.  ``--report`` subsumes the other telemetry flags and cannot be
+combined with them.
+
+``repro obs diff OLD NEW`` compares two run-report artifacts section
+by section and prints what changed (simulated time, device cycles,
+memory peak, bound-class flips); regressions exit 1.
 """
 
 from __future__ import annotations
@@ -64,7 +80,6 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -176,6 +191,14 @@ def build_parser() -> argparse.ArgumentParser:
              "findings exit 1",
     )
     parser.add_argument(
+        "--report", nargs="?", const="-", default=None, metavar="FILE",
+        help="run with full telemetry, merge every vertical into one "
+             "validated repro.runreport/v1 record and print it; with "
+             "FILE, also write the JSON artifact there; --algorithm "
+             "may be a comma-separated list; invariant violations "
+             "exit 1",
+    )
+    parser.add_argument(
         "--json", metavar="FILE", default=None,
         help="with --staticheck/--dataflow/--sanitize, also write the "
              "findings as a machine-readable repro.findings/v1 "
@@ -211,18 +234,12 @@ def _write_file(path: str, write: Callable[[str], None], label: str) -> bool:
     """Write an output artifact, creating parent directories.
 
     Returns False (after a clear stderr message, no traceback) when the
-    path is unwritable.
+    path is unwritable.  Delegates to the shared
+    :func:`repro.obs.export.write_artifact` sink the CI gates use.
     """
-    try:
-        parent = Path(path).parent
-        if str(parent) not in ("", "."):
-            parent.mkdir(parents=True, exist_ok=True)
-        write(path)
-    except OSError as exc:
-        print(f"error: cannot write {label} to {path!r}: {exc}",
-              file=sys.stderr)
-        return False
-    return True
+    from repro.obs.export import write_artifact
+
+    return write_artifact(path, write, label=label)
 
 
 def _emit_findings(json_path: "str | None", tool: str, report) -> bool:
@@ -283,7 +300,36 @@ def _print_dataflow_certificates(json_path: "str | None" = None) -> int:
     return 0
 
 
+def _obs_diff(argv: Sequence[str]) -> int:
+    """``repro obs diff OLD NEW`` — compare two run-report artifacts."""
+    import json
+
+    from repro.obs.runreport import diff_runreports, validate_runreport
+
+    if len(argv) != 2:
+        print("usage: repro obs diff OLD.json NEW.json", file=sys.stderr)
+        return 2
+    reports = []
+    for path in argv:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read run report {path!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        for problem in validate_runreport(record):
+            print(f"warning: {path}: {problem}", file=sys.stderr)
+        reports.append(record)
+    rendered, regressions = diff_runreports(reports[0], reports[1])
+    print(rendered)
+    return 1 if regressions else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:2] == ["obs", "diff"]:
+        return _obs_diff(argv[2:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if not (args.input or args.dataset or args.list_datasets
@@ -307,9 +353,35 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(name)
         return 0
 
-    if args.algorithm not in algorithm_names():
-        print(f"error: unknown algorithm {args.algorithm!r} "
-              f"(see --list-algorithms)", file=sys.stderr)
+    report_algorithms: list[str] = []
+    if args.report is not None:
+        incompatible = [flag for flag, on in (
+            ("--profile", args.profile is not None),
+            ("--sanitize", args.sanitize),
+            ("--staticheck", args.staticheck),
+            ("--dataflow", args.dataflow),
+            ("--ncu", args.ncu is not None),
+            ("--memtrace", args.memtrace is not None),
+            ("--engine", args.engine is not None),
+        ) if on]
+        if incompatible:
+            print("error: --report already merges every telemetry "
+                  "vertical and cannot be combined with "
+                  f"{', '.join(incompatible)}", file=sys.stderr)
+            return 2
+        report_algorithms = [a for a in args.algorithm.split(",") if a]
+        unknown = [a for a in report_algorithms
+                   if a not in algorithm_names()]
+        if not report_algorithms or unknown:
+            bad = ", ".join(repr(a) for a in unknown) or "none given"
+            print(f"error: unknown algorithm(s) for --report: {bad} "
+                  f"(see --list-algorithms)", file=sys.stderr)
+            return 2
+    elif args.algorithm not in algorithm_names():
+        hint = (" (comma-separated lists need --report)"
+                if "," in args.algorithm else " (see --list-algorithms)")
+        print(f"error: unknown algorithm {args.algorithm!r}{hint}",
+              file=sys.stderr)
         return 2
     if args.sanitize and args.algorithm not in SANITIZABLE:
         print(f"error: algorithm {args.algorithm!r} does not support "
@@ -352,6 +424,28 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
     else:
         graph = read_edgelist(args.input)
+
+    if args.report is not None:
+        from repro.obs.runreport import collect_run_report
+
+        report, _results = collect_run_report(
+            graph, report_algorithms,
+            dataset=args.dataset or args.input,
+        )
+        print(report.render())
+        problems = report.validate()
+        if args.report != "-":
+            if not _write_file(args.report, report.write, "run report"):
+                return 1
+            print(f"wrote run report ({len(report.sections)} section(s)) "
+                  f"to {args.report}")
+        if problems:
+            print(f"runreport: {len(problems)} invariant violation(s)",
+                  file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        return 0
 
     run_kwargs = {}
     if args.engine is not None:

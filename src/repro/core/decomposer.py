@@ -45,6 +45,14 @@ every device allocation's lifetime is recorded and the memory peak gets
 an exact attribution breakdown on ``result.memtrace``; in ``fast`` mode
 there is no simulated device memory to trace, so ``result.memtrace``
 stays ``None``.
+
+Pass ``report=True`` to merge every enabled telemetry vertical into a
+unified, validated ``repro.runreport/v1`` record on ``result.report``
+(see the "Run reports" section of ``docs/OBSERVABILITY.md``): in
+``simulate`` mode this implies ``profile`` and ``memtrace``, so the
+report covers kernels, cycles, and the exact memory-peak attribution;
+in ``fast`` mode it degrades to a minimal section (timings and stats —
+there is no device telemetry to merge).
 """
 
 from __future__ import annotations
@@ -93,6 +101,7 @@ class KCoreDecomposer:
         profile: bool = False,
         memtrace: bool = False,
         engine: "str | ExecutionEngine | None" = None,
+        report: bool = False,
     ) -> None:
         if mode not in _MODES:
             raise ReproError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -111,6 +120,7 @@ class KCoreDecomposer:
         #: :class:`~repro.gpusim.engine.ExecutionEngine`.  ``fast``
         #: mode runs no simulator kernels, so the engine is unused.
         self.engine = engine
+        self.report = report
 
     def decompose(self, graph: CSRGraph) -> DecompositionResult:
         """Compute the core number of every vertex of ``graph``."""
@@ -139,7 +149,12 @@ class KCoreDecomposer:
                     cfg, self.spec or DeviceSpec(), graph.num_vertices,
                     len(graph.neighbors), graph.max_degree,
                 ).report
-            if tracer is None and lint_report is None and static_report is None:
+            if (
+                tracer is None
+                and lint_report is None
+                and static_report is None
+                and not self.report
+            ):
                 return fast_decompose(graph)
             wall_start = time.perf_counter()
             result = fast_decompose(graph)
@@ -148,7 +163,7 @@ class KCoreDecomposer:
                 tracer.span("fast_decompose", 0.0, wall_ms, cat="host",
                             track="wall", args={"clock": "wall"})
                 tracer.put("host.wall_ms", wall_ms)
-            return DecompositionResult(
+            wrapped = DecompositionResult(
                 core=result.core,
                 algorithm=result.algorithm,
                 simulated_ms=result.simulated_ms,
@@ -160,6 +175,15 @@ class KCoreDecomposer:
                 sanitizer=lint_report,
                 staticheck=static_report,
             )
+            if self.report:
+                from dataclasses import replace
+
+                from repro.obs.runreport import RunReport
+
+                wrapped = replace(
+                    wrapped, report=RunReport.from_result(wrapped)
+                )
+            return wrapped
         return gpu_peel(
             graph,
             variant=self.variant,
@@ -172,6 +196,7 @@ class KCoreDecomposer:
             profile=self.profile,
             memtrace=self.memtrace,
             engine=self.engine,
+            report=self.report,
         )
 
     def core_numbers(self, graph: CSRGraph) -> np.ndarray:

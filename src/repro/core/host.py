@@ -43,6 +43,19 @@ if TYPE_CHECKING:
 __all__ = ["gpu_peel", "GpuPeelOptions"]
 
 
+def _attach_report(
+    want_report: bool, result: DecompositionResult
+) -> DecompositionResult:
+    """Wrap ``result`` with its unified run report when requested."""
+    if not want_report:
+        return result
+    from dataclasses import replace
+
+    from repro.obs.runreport import RunReport
+
+    return replace(result, report=RunReport.from_result(result))
+
+
 @dataclass(frozen=True)
 class GpuPeelOptions:
     """Tunables of a simulated-GPU peeling run."""
@@ -97,6 +110,12 @@ class GpuPeelOptions:
     #: engines produce byte-identical simulated results, so this only
     #: changes host wall-clock time — see ``docs/SIMULATOR.md``
     engine: "str | ExecutionEngine | None" = None
+    #: merge every telemetry vertical into a unified, validated
+    #: ``repro.runreport/v1`` record on ``result.report`` (see
+    #: :mod:`repro.obs.runreport`); implies ``profile`` and
+    #: ``memtrace``.  Observability-only — simulated time, counters,
+    #: and core numbers are byte-identical with reporting on or off
+    report: bool = False
 
 
 def gpu_peel(
@@ -113,6 +132,7 @@ def gpu_peel(
     profile: bool | None = None,
     memtrace: bool | None = None,
     engine: "str | ExecutionEngine | None" = None,
+    report: bool | None = None,
 ) -> DecompositionResult:
     """Run the paper's GPU peeling algorithm on the simulator.
 
@@ -166,6 +186,12 @@ def gpu_peel(
             across engines; only host wall-clock time changes.  Ignored
             when a pre-built ``device`` is passed — that device keeps
             its own engine.
+        report: merge every enabled telemetry vertical into one
+            validated ``repro.runreport/v1`` record on
+            ``result.report`` (overrides ``options.report`` when
+            given); implies ``profile`` and ``memtrace`` so the report
+            always covers kernels, cycles and the memory peak.  See
+            the "Run reports" section of ``docs/OBSERVABILITY.md``.
 
     Returns:
         A :class:`DecompositionResult` whose ``simulated_ms`` /
@@ -184,6 +210,12 @@ def gpu_peel(
     want_profile = opts.profile if profile is None else profile
     want_memtrace = opts.memtrace if memtrace is None else memtrace
     want_engine = opts.engine if engine is None else engine
+    want_report = opts.report if report is None else report
+    if want_report:
+        # a run report always covers the kernel profile and the memory
+        # peak attribution; both are observability-only
+        want_profile = True
+        want_memtrace = True
     if want_staticheck and cfg.ring_buffer:
         raise ReproError(
             "staticheck is not available for ring-buffer variants: a "
@@ -268,7 +300,7 @@ def gpu_peel(
     if n == 0:
         if memtracer is not None:
             memtracer.finish(device.elapsed_ms)
-        return DecompositionResult(
+        return _attach_report(want_report, DecompositionResult(
             core=np.empty(0, dtype=np.int64),
             algorithm=f"gpu-{cfg.name}",
             sanitizer=(
@@ -282,7 +314,7 @@ def gpu_peel(
             memtrace=(
                 memtracer.report() if memtracer is not None else None
             ),
-        )
+        ))
 
     grid_dim = spec.default_grid_dim
     capacity = opts.buffer_capacity or spec.block_buffer_capacity
@@ -394,7 +426,7 @@ def gpu_peel(
         for name, value in counters.items():
             if not name.startswith("device."):  # device.* already live
                 tr.put(name, value)
-    return DecompositionResult(
+    return _attach_report(want_report, DecompositionResult(
         core=core,
         algorithm=f"gpu-{cfg.name}",
         simulated_ms=device.elapsed_ms,
@@ -419,4 +451,4 @@ def gpu_peel(
         staticheck=_static_report(),
         profile=profiler.report() if profiler is not None else None,
         memtrace=memtracer.report() if memtracer is not None else None,
-    )
+    ))

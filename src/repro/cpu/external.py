@@ -14,20 +14,40 @@ cascades discovered by a pass are handled by the next pass, so the
 pass count per round equals the peel cascade depth.  The harness
 reports the quantity disk-based algorithms live and die by: bytes
 streamed and pass counts.
+
+Telemetry
+---------
+Every result carries always-on ``disk.*`` counters (page-in/page-out
+bytes, pass count, the disk-resident high-water mark); they are derived
+from the same quantities as the time model, so traced and untraced runs
+are byte-identical.  When a process-wide tracer is active each pass
+additionally becomes a span on the ``disk`` track with a
+``disk.resident_bytes`` counter track alongside, and ``memtrace=True``
+attaches allocation lifetimes for the four ``O(|V|)`` in-memory arrays
+(summing exactly to ``peak_memory_bytes``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 from pathlib import Path
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.graph.io import iter_edgelist_lines, write_edgelist
+from repro.memtrace.tracker import MemoryTracker
+from repro.obs import active_tracer
 from repro.result import DecompositionResult
 
-__all__ = ["SemiExternalConfig", "semi_external_decompose"]
+__all__ = [
+    "SemiExternalConfig",
+    "semi_external_decompose",
+    "decompose_graph_via_disk",
+]
+
+#: the modelled ``O(|V|)`` in-memory arrays (8 bytes per vertex each)
+_ARRAYS = ("deg", "core", "alive", "decrements")
 
 
 @dataclass(frozen=True)
@@ -63,20 +83,51 @@ def _stream_degrees(path: Path) -> tuple[np.ndarray, int]:
 def semi_external_decompose(
     edge_file: str | Path,
     config: SemiExternalConfig | None = None,
+    memtrace: bool = False,
+    num_vertices: int | None = None,
 ) -> DecompositionResult:
     """Decompose the graph stored in ``edge_file`` without ever loading
     its edges into memory.
 
     The file must be a plain (or gzipped) undirected edge list, each
     edge appearing once — :func:`repro.graph.io.write_edgelist` output
-    qualifies.  Returns a result whose ``stats`` include the pass count
-    and total streamed bytes.
+    qualifies.  An edge list cannot represent trailing isolated
+    vertices, so callers that know the true vertex count (e.g. the
+    spill path) pass ``num_vertices``; those vertices resolve to core 0
+    without touching the stream.  Returns a result whose ``stats``
+    include the pass count and total streamed bytes, and whose counters
+    carry the ``disk.*`` I/O telemetry.  ``memtrace=True`` attaches
+    allocation lifetimes for the in-memory arrays (observability-only).
     """
     config = config or SemiExternalConfig()
     edge_file = Path(edge_file)
+    tr = active_tracer()
 
     deg, num_edges = _stream_degrees(edge_file)
+    if num_vertices is not None and num_vertices > deg.size:
+        deg = np.concatenate(
+            [deg, np.zeros(num_vertices - deg.size, dtype=np.int64)]
+        )
     n = deg.size
+    #: on-disk bytes of the edge list — the disk-resident high-water
+    #: mark; every sequential pass pages in exactly this many bytes
+    resident_bytes = int(num_edges * config.bytes_per_edge)
+    pass_ms = (
+        resident_bytes / (config.disk_mb_per_s * 1024 * 1024) * 1000.0
+        + config.pass_overhead_ms
+    )
+    clock_ms = 0.0  # trace-only pass clock; never feeds the time model
+    if tr is not None:
+        tr.span("pass", 0.0, pass_ms, cat="disk", track="disk",
+                args={"pass": 0, "kind": "degree-count",
+                      "page_in_bytes": resident_bytes})
+        tr.sample("disk.resident_bytes", pass_ms, resident_bytes,
+                  track="disk")
+        clock_ms = pass_ms
+    tracker = MemoryTracker(worker="cpu") if memtrace else None
+    if tracker is not None:
+        for name in _ARRAYS:
+            tracker.on_malloc(name, 8 * n, 0.0)
     passes = 1  # the degree-counting pass
     core = np.zeros(n, dtype=np.int64)
     alive = deg > 0  # isolated vertices resolve immediately to core 0
@@ -101,6 +152,14 @@ def semi_external_decompose(
                 if shell[v] and alive[u]:
                     decrements[u] += 1
             deg -= decrements
+            if tr is not None:
+                tr.span("pass", clock_ms, pass_ms, cat="disk",
+                        track="disk",
+                        args={"pass": passes - 1, "round": k,
+                              "page_in_bytes": resident_bytes})
+                clock_ms += pass_ms
+                tr.sample("disk.resident_bytes", clock_ms,
+                          resident_bytes, track="disk")
             shell = alive & (deg <= k)  # the cascade, next pass
         k += 1
 
@@ -109,6 +168,24 @@ def semi_external_decompose(
         streamed_bytes / (config.disk_mb_per_s * 1024 * 1024) * 1000.0
         + passes * config.pass_overhead_ms
     )
+    # page-in bytes are defined as passes x resident so the identity
+    # ``page_in == passes * resident`` holds for any config; the float
+    # ``streamed_bytes`` the time model uses stays untouched
+    counters = {
+        "host.rounds": float(k),
+        "disk.passes": float(passes),
+        "disk.page_in_bytes": float(passes * resident_bytes),
+        "disk.page_out_bytes": 0.0,
+        "disk.resident_peak_bytes": float(resident_bytes),
+    }
+    if tr is not None:
+        for name, value in counters.items():
+            if name != "host.rounds":
+                tr.add(name, value)
+    if tracker is not None:
+        for name in _ARRAYS:
+            tracker.on_free(name, io_ms)
+        tracker.finish(io_ms)
     return DecompositionResult(
         core=core,
         algorithm="semi-external",
@@ -120,15 +197,37 @@ def semi_external_decompose(
             "streamed_bytes": int(streamed_bytes),
             "edges": num_edges,
         },
+        counters=counters,
+        trace=tr,
+        memtrace=tracker.report(algorithm="semi-external")
+        if tracker is not None else None,
     )
 
 
 def decompose_graph_via_disk(
     graph: CSRGraph, work_dir: str | Path,
     config: SemiExternalConfig | None = None,
+    memtrace: bool = False,
 ) -> DecompositionResult:
     """Convenience: spill ``graph`` to ``work_dir`` and run the
-    semi-external algorithm on the file (round-trips through real IO)."""
+    semi-external algorithm on the file (round-trips through real IO).
+
+    The spill is accounted as ``disk.page_out_bytes`` (one modelled
+    record per edge, the same constant the streaming model charges for
+    reads).
+    """
+    config = config or SemiExternalConfig()
     path = Path(work_dir) / "graph.edges"
     write_edgelist(graph, path)
-    return semi_external_decompose(path, config=config)
+    result = semi_external_decompose(path, config=config,
+                                     memtrace=memtrace,
+                                     num_vertices=graph.num_vertices)
+    page_out = float(
+        int(result.stats["edges"] * config.bytes_per_edge)
+    )
+    counters = dict(result.counters)
+    counters["disk.page_out_bytes"] = page_out
+    tr = result.trace
+    if tr is not None:
+        tr.add("disk.page_out_bytes", page_out)
+    return dc_replace(result, counters=counters)

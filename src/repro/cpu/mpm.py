@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.memtrace.tracker import MemoryTracker
 from repro.multicore.costmodel import CpuCostModel
 from repro.multicore.machine import SimulatedMulticore
 from repro.result import DecompositionResult
@@ -84,18 +85,31 @@ def mpm_decompose(
     graph: CSRGraph,
     parallel: bool = True,
     cost: CpuCostModel | None = None,
+    profile: bool = False,
+    memtrace: bool = False,
 ) -> DecompositionResult:
     """MPM as a :class:`DecompositionResult` for the Table IV harness.
 
     Every sweep touches every edge plus an ``O(deg log deg)`` sort per
     vertex; threads partition the vertices, and one barrier separates
-    sweeps.
+    sweeps.  ``profile``/``memtrace`` attach per-epoch bound
+    attribution and allocation-lifetime telemetry — observability-only,
+    byte-identical results either way.
     """
     cost = cost or CpuCostModel()
     threads = cost.threads if parallel else 1
-    machine = SimulatedMulticore(cost, threads=threads)
+    tracker = MemoryTracker(worker="cpu") if memtrace else None
+    machine = SimulatedMulticore(
+        cost, threads=threads, profile=profile, memtracer=tracker
+    )
     n = graph.num_vertices
     degrees = graph.degrees
+    # the modelled working set behind ``peak_memory_bytes``: three
+    # 8-byte |V| arrays plus the 8-byte neighbor list (Table V row)
+    if tracker is not None:
+        machine.track_alloc("neighbors", 8 * graph.neighbors.size)
+        for label in ("estimates", "refined", "core"):
+            machine.track_alloc(label, 8 * n)
 
     core, sweeps = mpm_core_numbers(graph)
 
@@ -109,13 +123,17 @@ def mpm_decompose(
         if parallel:
             machine.barrier()
 
+    name = "mpm" if parallel else "mpm-serial"
+    if tracker is not None:
+        for label in ("neighbors", "estimates", "refined", "core"):
+            machine.track_free(label)
     simulated_ms = machine.finish()
     counters = {"host.rounds": float(sweeps),
                 "cpu.sweeps": float(sweeps)}
     counters.update(machine.counters())
     return DecompositionResult(
         core=core,
-        algorithm="mpm" if parallel else "mpm-serial",
+        algorithm=name,
         simulated_ms=simulated_ms,
         peak_memory_bytes=8 * (3 * n + graph.neighbors.size),
         rounds=sweeps,
@@ -126,4 +144,7 @@ def mpm_decompose(
         },
         counters=counters,
         trace=machine.tracer,
+        profile=machine.profile_report(name) if profile else None,
+        memtrace=tracker.report(algorithm=name)
+        if tracker is not None else None,
     )

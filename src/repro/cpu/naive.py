@@ -32,7 +32,7 @@ def networkx_style_core_numbers(graph: CSRGraph) -> tuple[np.ndarray, int]:
     degrees = {v: graph.degree(v) for v in range(n)}
     ops += n
     # sort vertices by degree (NetworkX sorts the node list)
-    nodes = sorted(degrees, key=degrees.get)
+    nodes = sorted(degrees, key=lambda v: degrees[v])
     ops += int(n * max(1, np.log2(n + 1)))
     bin_boundaries = [0]
     curr_degree = 0

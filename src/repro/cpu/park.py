@@ -24,25 +24,44 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.memtrace.tracker import MemoryTracker
 from repro.multicore.costmodel import CpuCostModel
 from repro.multicore.machine import SimulatedMulticore
 from repro.result import DecompositionResult
 
 __all__ = ["park_decompose"]
 
+#: the modelled working arrays behind ``peak_memory_bytes`` — four
+#: 8-byte |V| arrays plus the 8-byte neighbor list (Table V row)
+_ARRAYS = ("deg", "core", "alive", "buffer")
+
 
 def park_decompose(
     graph: CSRGraph,
     parallel: bool = True,
     cost: CpuCostModel | None = None,
+    profile: bool = False,
+    memtrace: bool = False,
 ) -> DecompositionResult:
-    """Run ParK; ``parallel=False`` gives the serial variant of Table IV."""
+    """Run ParK; ``parallel=False`` gives the serial variant of Table IV.
+
+    ``profile``/``memtrace`` attach per-epoch bound attribution and
+    allocation-lifetime telemetry — observability-only, byte-identical
+    results either way.
+    """
     cost = cost or CpuCostModel()
     threads = cost.threads if parallel else 1
-    machine = SimulatedMulticore(cost, threads=threads)
+    tracker = MemoryTracker(worker="cpu") if memtrace else None
+    machine = SimulatedMulticore(
+        cost, threads=threads, profile=profile, memtracer=tracker
+    )
 
     n = graph.num_vertices
     offsets, neighbors = graph.offsets, graph.neighbors
+    if tracker is not None:
+        machine.track_alloc("neighbors", 8 * neighbors.size)
+        for name in _ARRAYS:
+            machine.track_alloc(name, 8 * n)
     deg = graph.degrees.astype(np.int64).copy()
     core = np.zeros(n, dtype=np.int64)
     alive = np.ones(n, dtype=bool)
@@ -100,13 +119,17 @@ def park_decompose(
                 machine.barrier()  # sub-level synchronisation
         k += 1
 
+    name = "park" if parallel else "park-serial"
+    if tracker is not None:
+        for label in ("neighbors",) + _ARRAYS:
+            machine.track_free(label)
     simulated_ms = machine.finish()
     counters = {"host.rounds": float(k),
                 "cpu.sub_levels": float(sub_levels)}
     counters.update(machine.counters())
     return DecompositionResult(
         core=core,
-        algorithm="park" if parallel else "park-serial",
+        algorithm=name,
         simulated_ms=simulated_ms,
         peak_memory_bytes=8 * (4 * n + graph.neighbors.size),
         rounds=k,
@@ -119,4 +142,7 @@ def park_decompose(
         },
         counters=counters,
         trace=machine.tracer,
+        profile=machine.profile_report(name) if profile else None,
+        memtrace=tracker.report(algorithm=name)
+        if tracker is not None else None,
     )

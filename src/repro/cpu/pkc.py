@@ -26,11 +26,16 @@ from collections import deque
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.memtrace.tracker import MemoryTracker
 from repro.multicore.costmodel import CpuCostModel
 from repro.multicore.machine import SimulatedMulticore
 from repro.result import DecompositionResult
 
 __all__ = ["pkc_decompose"]
+
+#: the modelled working arrays behind ``peak_memory_bytes`` — four
+#: 8-byte |V| arrays plus the 8-byte neighbor list (Table V row)
+_ARRAYS = ("deg", "core", "alive", "buffer")
 
 #: fraction of vertices that must be peeled before PKC compacts the
 #: working graph (the original code uses 0.98 at full scale)
@@ -42,17 +47,29 @@ def pkc_decompose(
     parallel: bool = True,
     compact: bool = True,
     cost: CpuCostModel | None = None,
+    profile: bool = False,
+    memtrace: bool = False,
 ) -> DecompositionResult:
     """Run PKC (``compact=True``) or PKC-o (``compact=False``).
 
     ``parallel=False`` gives the serial rows of Table IV.
+    ``profile``/``memtrace`` attach per-epoch bound attribution and
+    allocation-lifetime telemetry — observability-only, byte-identical
+    results either way.
     """
     cost = cost or CpuCostModel()
     threads = cost.threads if parallel else 1
-    machine = SimulatedMulticore(cost, threads=threads)
+    tracker = MemoryTracker(worker="cpu") if memtrace else None
+    machine = SimulatedMulticore(
+        cost, threads=threads, profile=profile, memtracer=tracker
+    )
 
     n = graph.num_vertices
     offsets, neighbors = graph.offsets, graph.neighbors
+    if tracker is not None:
+        machine.track_alloc("neighbors", 8 * neighbors.size)
+        for name in _ARRAYS:
+            machine.track_alloc(name, 8 * n)
     deg = graph.degrees.astype(np.int64).copy()
     core = np.zeros(n, dtype=np.int64)
     alive = np.ones(n, dtype=bool)
@@ -84,7 +101,7 @@ def pkc_decompose(
         # No barrier here: with local buffers a thread flows straight
         # from its scan into its drain — PKC's whole point is one
         # synchronisation per round.
-        local: list[deque] = [deque() for _ in range(threads)]
+        local: list[deque[int]] = [deque() for _ in range(threads)]
         for i, v in enumerate(hits):
             local[i % threads].append(int(v))
 
@@ -115,14 +132,18 @@ def pkc_decompose(
             machine.barrier()  # one synchronisation per round
         k += 1
 
-    simulated_ms = machine.finish()
     prefix = "pkc" if compact else "pkc-o"
+    name = (prefix if parallel else f"{prefix}-serial")
+    if tracker is not None:
+        for label in ("neighbors",) + _ARRAYS:
+            machine.track_free(label)
+    simulated_ms = machine.finish()
     counters = {"host.rounds": float(k),
                 "cpu.compactions": float(compacted)}
     counters.update(machine.counters())
     return DecompositionResult(
         core=core,
-        algorithm=prefix if parallel else f"{prefix}-serial",
+        algorithm=name,
         simulated_ms=simulated_ms,
         peak_memory_bytes=8 * (4 * n + graph.neighbors.size),
         rounds=k,
@@ -135,4 +156,7 @@ def pkc_decompose(
         },
         counters=counters,
         trace=machine.tracer,
+        profile=machine.profile_report(name) if profile else None,
+        memtrace=tracker.report(algorithm=name)
+        if tracker is not None else None,
     )

@@ -2,5 +2,16 @@
 
 from repro.multicore.costmodel import CpuCostModel
 from repro.multicore.machine import SimulatedMulticore
+from repro.multicore.profile import (
+    BOUND_CLASSES,
+    EpochProfile,
+    MulticoreProfile,
+)
 
-__all__ = ["CpuCostModel", "SimulatedMulticore"]
+__all__ = [
+    "BOUND_CLASSES",
+    "CpuCostModel",
+    "EpochProfile",
+    "MulticoreProfile",
+    "SimulatedMulticore",
+]

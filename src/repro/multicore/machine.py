@@ -21,28 +21,40 @@ only *read* the clock; traced and untraced runs charge identical time.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
 from repro.multicore.costmodel import CpuCostModel
+from repro.multicore.profile import EpochProfile, MulticoreProfile
 from repro.obs import active_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.memtrace.tracker import MemoryTracker
     from repro.obs.tracer import Tracer
 
 __all__ = ["SimulatedMulticore"]
 
 
 class SimulatedMulticore:
-    """Per-thread op accounting with barrier-delimited epochs."""
+    """Per-thread op accounting with barrier-delimited epochs.
+
+    ``profile=True`` additionally records one
+    :class:`~repro.multicore.profile.EpochProfile` per closed epoch
+    (bound-class attribution); a ``memtracer`` receives the host-array
+    allocation lifetimes reported via :meth:`track_alloc` /
+    :meth:`track_free`.  Both are observability-only: they read the
+    clock and the per-thread arrays without changing any charge.
+    """
 
     def __init__(
         self,
         cost: CpuCostModel | None = None,
         threads: int | None = None,
         tracer: "Tracer | None" = None,
-    ):
+        profile: bool = False,
+        memtracer: "MemoryTracker | None" = None,
+    ) -> None:
         self.cost = cost or CpuCostModel()
         self.threads = threads if threads is not None else self.cost.threads
         self._epoch_ops = np.zeros(self.threads, dtype=np.float64)
@@ -52,6 +64,9 @@ class SimulatedMulticore:
         self.total_ops = 0.0
         self.total_atomics = 0.0
         self.tracer = tracer if tracer is not None else active_tracer()
+        self._profile = bool(profile)
+        self.epochs: List[EpochProfile] = []
+        self.memtracer = memtracer
 
     def add_ops(self, thread: int, count: float) -> None:
         """Record ``count`` simple operations performed by ``thread``."""
@@ -87,11 +102,66 @@ class SimulatedMulticore:
                     "threads": self.threads,
                 },
             )
+        start_ms = self.elapsed_ms
         self.elapsed_ms += epoch_ns / 1e6
         if sync:
             self.elapsed_ms += self.cost.sync_us / 1e3
+        if self._profile and (epoch_ns or sync):
+            self._record_epoch(start_ms, self.elapsed_ms, sync)
         self._epoch_ops[:] = 0.0
         self._epoch_atomics[:] = 0.0
+
+    def _record_epoch(self, start_ms: float, end_ms: float,
+                      sync: bool) -> None:
+        """Attribute the just-charged epoch (arrays not yet zeroed).
+
+        The straggler's two terms are recomputed with the same float64
+        operations that produced the charge, so ``compute_ns +
+        atomic_ns`` reproduces the charged nanoseconds bit-for-bit —
+        the run-report validator asserts exactly that.
+        """
+        if self.threads:
+            combined = (self._epoch_ops * self.cost.op_ns
+                        + self._epoch_atomics * self.cost.atomic_ns)
+            straggler = int(combined.argmax())
+            compute_ns = float(
+                self._epoch_ops[straggler] * self.cost.op_ns
+            )
+            atomic_ns = float(
+                self._epoch_atomics[straggler] * self.cost.atomic_ns
+            )
+        else:
+            straggler, compute_ns, atomic_ns = 0, 0.0, 0.0
+        sync_ns = self.cost.sync_us * 1000.0 if sync else 0.0
+        terms = (
+            ("compute", compute_ns), ("atomic", atomic_ns),
+            ("sync", sync_ns),
+        )
+        bound = max(terms, key=lambda kv: kv[1])[0]
+        self.epochs.append(EpochProfile(
+            index=len(self.epochs),
+            start_ms=start_ms,
+            end_ms=end_ms,
+            compute_ns=compute_ns,
+            atomic_ns=atomic_ns,
+            sync=sync,
+            straggler=straggler,
+            bound=bound,
+        ))
+
+    # -- host-array memory telemetry -----------------------------------------
+
+    def track_alloc(self, name: str, nbytes: int) -> None:
+        """Open an allocation lifetime on the attached memtracer."""
+        mt = self.memtracer
+        if mt is not None:
+            mt.on_malloc(name, int(nbytes), self.elapsed_ms)
+
+    def track_free(self, name: str) -> None:
+        """Close an allocation lifetime on the attached memtracer."""
+        mt = self.memtracer
+        if mt is not None:
+            mt.on_free(name, self.elapsed_ms)
 
     def barrier(self) -> None:
         """Close the epoch: charge the straggler thread plus sync fee."""
@@ -106,9 +176,25 @@ class SimulatedMulticore:
             tr.add("cpu.barriers", self.barriers)
             tr.add("cpu.ops", self.total_ops)
             tr.add("cpu.atomics", self.total_atomics)
+        if self.memtracer is not None:
+            self.memtracer.finish(self.elapsed_ms)
         return self.elapsed_ms
 
-    def counters(self) -> dict:
+    def profile_report(
+        self, algorithm: Optional[str] = None
+    ) -> MulticoreProfile:
+        """The recorded epochs as a :class:`MulticoreProfile`."""
+        return MulticoreProfile(
+            algorithm=algorithm,
+            threads=self.threads,
+            op_ns=self.cost.op_ns,
+            atomic_ns=self.cost.atomic_ns,
+            sync_us=self.cost.sync_us,
+            elapsed_ms=self.elapsed_ms,
+            epochs=tuple(self.epochs),
+        )
+
+    def counters(self) -> Dict[str, float]:
         """Flat observability counters for this machine (``cpu.*``)."""
         return {
             "cpu.threads": float(self.threads),

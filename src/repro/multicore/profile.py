@@ -1,0 +1,133 @@
+"""Per-epoch bound-class attribution for the simulated multicore.
+
+The GPU side has a roofline profiler (:mod:`repro.profile`) that labels
+every kernel launch compute-, memory- or latency-bound.  This module is
+the multicore counterpart: when a :class:`~repro.multicore.machine.
+SimulatedMulticore` is built with ``profile=True`` it records one
+:class:`EpochProfile` per barrier-delimited epoch, splitting the
+straggler thread's charge into its plain-op and atomic components and
+classifying the epoch as ``compute``-, ``atomic``- or ``sync``-bound
+(ties resolve in that priority order).
+
+The attribution is *reconstructive*, not sampled: ``compute_ns`` and
+``atomic_ns`` are the exact straggler terms the machine summed when it
+charged the epoch, so ``compute_ns + atomic_ns`` equals the epoch's
+charged nanoseconds bit-for-bit, and the epoch interval
+``[start_ms, end_ms)`` is read straight off the machine's clock.  The
+run-report validator leans on both: epochs must tile
+``[0, simulated_ms)`` contiguously and every epoch's end must be
+re-derivable from its start and its terms with **no tolerance**.
+Profiling is observability-only — it reads the clock and the per-thread
+arrays, and never changes what the machine charges.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["EpochProfile", "MulticoreProfile", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = "repro.cpu-epochs/v1"
+
+#: bound classes in tie-break priority order
+BOUND_CLASSES = ("compute", "atomic", "sync")
+
+
+@dataclass(frozen=True)
+class EpochProfile:
+    """One barrier-delimited epoch's attribution.
+
+    ``compute_ns``/``atomic_ns`` are the straggler thread's two charge
+    terms (``ops * op_ns`` and ``atomics * atomic_ns``); ``sync`` marks
+    whether the epoch ended at a barrier and therefore also charged the
+    cost model's sync fee.  ``bound`` is the largest of the three terms
+    (sync term = ``sync_us * 1000``), ties resolving compute > atomic >
+    sync.
+    """
+
+    index: int
+    start_ms: float
+    end_ms: float
+    compute_ns: float
+    atomic_ns: float
+    sync: bool
+    straggler: int
+    bound: str
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "compute_ns": self.compute_ns,
+            "atomic_ns": self.atomic_ns,
+            "sync": self.sync,
+            "straggler": self.straggler,
+            "bound": self.bound,
+        }
+
+
+@dataclass(frozen=True)
+class MulticoreProfile:
+    """A run's epoch timeline plus the cost constants needed to check it."""
+
+    algorithm: Optional[str]
+    threads: int
+    op_ns: float
+    atomic_ns: float
+    sync_us: float
+    elapsed_ms: float
+    epochs: Tuple[EpochProfile, ...]
+
+    def bound_histogram(self) -> Dict[str, int]:
+        """Epoch counts per bound class (all classes present, maybe 0)."""
+        hist = {name: 0 for name in BOUND_CLASSES}
+        for epoch in self.epochs:
+            hist[epoch.bound] = hist.get(epoch.bound, 0) + 1
+        return hist
+
+    def to_json(self) -> Dict[str, Any]:
+        """The ``repro.cpu-epochs/v1`` record."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "algorithm": self.algorithm,
+            "threads": self.threads,
+            "op_ns": self.op_ns,
+            "atomic_ns": self.atomic_ns,
+            "sync_us": self.sync_us,
+            "elapsed_ms": self.elapsed_ms,
+            "epochs": [e.to_json() for e in self.epochs],
+            "bound_histogram": self.bound_histogram(),
+        }
+
+    def write(self, path: str) -> None:
+        """Serialise :meth:`to_json` to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=1)
+
+    def render(self) -> str:
+        """Console table: one row per epoch plus the bound histogram."""
+        label = self.algorithm or "multicore run"
+        lines = [
+            f"Multicore epoch profile: {label} "
+            f"({self.threads} thread(s), {len(self.epochs)} epoch(s), "
+            f"{self.elapsed_ms:.3f} ms)",
+            f"  {'epoch':>5} {'start ms':>10} {'dur ms':>10} "
+            f"{'compute ns':>12} {'atomic ns':>11} {'sync':>5} "
+            f"{'bound':<8}",
+        ]
+        for e in self.epochs:
+            lines.append(
+                f"  {e.index:>5} {e.start_ms:>10.4f} "
+                f"{e.end_ms - e.start_ms:>10.4f} "
+                f"{e.compute_ns:>12.1f} {e.atomic_ns:>11.1f} "
+                f"{'yes' if e.sync else 'no':>5} {e.bound:<8}"
+            )
+        hist = self.bound_histogram()
+        lines.append(
+            "  bound classes: "
+            + ", ".join(f"{k}={v}" for k, v in hist.items())
+        )
+        return "\n".join(lines)

@@ -28,6 +28,22 @@ counter catalogue, and a worked Perfetto example.
 """
 
 from repro.obs.chrome import validate_chrome_trace
+from repro.obs.export import (
+    JsonlSink,
+    MetricsServer,
+    events_to_jsonl,
+    prometheus_text,
+    start_metrics_server,
+    write_artifact,
+    write_jsonl,
+)
+from repro.obs.runreport import (
+    RunReport,
+    collect_run_report,
+    diff_runreports,
+    render_runreport,
+    validate_runreport,
+)
 from repro.obs.tracer import (
     Tracer,
     active_tracer,
@@ -37,10 +53,22 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "JsonlSink",
+    "MetricsServer",
+    "RunReport",
     "Tracer",
     "active_tracer",
+    "collect_run_report",
+    "diff_runreports",
+    "events_to_jsonl",
+    "prometheus_text",
+    "render_runreport",
+    "start_metrics_server",
     "start_tracing",
     "stop_tracing",
     "tracing",
     "validate_chrome_trace",
+    "validate_runreport",
+    "write_artifact",
+    "write_jsonl",
 ]

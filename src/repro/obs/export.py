@@ -1,0 +1,268 @@
+"""Live export surfaces for the obs stack.
+
+Three consumers of a :class:`~repro.obs.tracer.Tracer` that do not go
+through the Chrome-trace file format:
+
+* **Artifact writer** — :func:`write_artifact` is the one shared sink
+  for every CLI/gate JSON artifact (``--profile``, ``--ncu``,
+  ``--memtrace``, ``--report``, the CI gates).  It creates parent
+  directories and converts ``OSError`` into a clean one-line error on
+  stderr instead of a traceback, returning ``False`` so callers can
+  choose their exit code.
+* **JSONL event stream** — :func:`events_to_jsonl` /
+  :func:`write_jsonl` serialise the tracer's event list one JSON object
+  per line (a format ``tail -f`` and log shippers understand), and
+  :class:`JsonlSink` attaches to a tracer as a *live* sink so events
+  stream out as they are recorded rather than at the end of the run.
+* **Prometheus exposition** — :func:`prometheus_text` renders the flat
+  counter registry in the Prometheus text format (one ``# TYPE`` line
+  and one sample per counter), and :func:`start_metrics_server` serves
+  it from a background thread at ``/metrics`` so a long-running
+  process (the streaming/serving arc of the roadmap) can be scraped.
+
+Everything here is observability-only: nothing mutates the tracer, and
+a tracer with no sinks attached pays a single ``if not self._sinks``
+test per event.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, IO, Iterable, Mapping, Optional
+
+from repro.obs.tracer import Tracer, active_tracer
+
+__all__ = [
+    "write_artifact",
+    "events_to_jsonl",
+    "write_jsonl",
+    "JsonlSink",
+    "prometheus_text",
+    "MetricsServer",
+    "start_metrics_server",
+]
+
+
+# -- shared artifact writer --------------------------------------------------
+
+def write_artifact(
+    path: str, write: Callable[[str], None], label: str = "artifact"
+) -> bool:
+    """Run ``write(path)`` after creating parent directories.
+
+    Returns ``True`` on success.  On ``OSError`` (unwritable directory,
+    permission denied, disk full) prints a one-line ``error:`` message
+    to stderr and returns ``False`` — callers turn that into their exit
+    code instead of surfacing a traceback to the user.
+    """
+    try:
+        parent = os.path.dirname(path)
+        if parent and parent != ".":
+            os.makedirs(parent, exist_ok=True)
+        write(path)
+    except OSError as exc:
+        print(f"error: cannot write {label} to {path!r}: {exc}",
+              file=sys.stderr)
+        return False
+    return True
+
+
+# -- JSONL event stream ------------------------------------------------------
+
+def _event_line(event: Mapping[str, Any]) -> str:
+    """One event as a compact single-line JSON object."""
+    return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+def events_to_jsonl(events: Iterable[Mapping[str, Any]]) -> str:
+    """Serialise ``events`` as newline-delimited JSON (one per line)."""
+    lines = [_event_line(event) for event in events]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(tracer: Tracer, path: str) -> None:
+    """Write all of ``tracer``'s recorded events to ``path`` as JSONL."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(events_to_jsonl(tracer.events))
+
+
+class JsonlSink:
+    """A live tracer sink that appends one JSON line per event.
+
+    Attach with :meth:`~repro.obs.tracer.Tracer.add_sink`; events
+    stream to the file *as they are recorded*.  Use as a context
+    manager to pair attach/detach::
+
+        tr = Tracer()
+        with JsonlSink(tr, "events.jsonl"):
+            ... run traced work ...
+    """
+
+    def __init__(self, tracer: Tracer, path: str) -> None:
+        self.tracer = tracer
+        self.path = path
+        self._handle: Optional[IO[str]] = None
+
+    def __call__(self, event: Mapping[str, Any]) -> None:
+        if self._handle is not None:
+            self._handle.write(_event_line(event) + "\n")
+            self._handle.flush()
+
+    def open(self) -> "JsonlSink":
+        """Open the file and attach to the tracer."""
+        if self._handle is None:
+            self._handle = open(self.path, "w", encoding="utf-8")
+            self.tracer.add_sink(self)
+        return self
+
+    def close(self) -> None:
+        """Detach from the tracer and close the file (idempotent)."""
+        if self._handle is not None:
+            self.tracer.remove_sink(self)
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self.open()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+def _metric_name(counter: str, prefix: str) -> str:
+    """``device.cycles`` -> ``repro_device_cycles`` (Prometheus rules)."""
+    safe = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in counter
+    )
+    if safe and safe[0].isdigit():
+        safe = "_" + safe
+    return f"{prefix}_{safe}" if prefix else safe
+
+
+def prometheus_text(
+    counters: Mapping[str, float], prefix: str = "repro"
+) -> str:
+    """Render a flat counter registry in the Prometheus text format.
+
+    Counter names are sanitised (``.`` and other illegal characters
+    become ``_``) and prefixed; every metric is exposed as a gauge
+    because the registry holds point-in-time values (peaks, totals of a
+    finished run).  Output is sorted by original counter name so the
+    exposition is deterministic.
+    """
+    out: list[str] = []
+    for name in sorted(counters):
+        metric = _metric_name(name, prefix)
+        value = float(counters[name])
+        out.append(f"# TYPE {metric} gauge")
+        out.append(f"{metric} {value!r}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
+# -- /metrics HTTP endpoint --------------------------------------------------
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Serves ``/metrics`` (Prometheus text) and ``/healthz``."""
+
+    server: "_MetricsHTTPServer"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path.split("?", 1)[0] == "/metrics":
+            # explicit None test: a tracer with counters but no events
+            # yet is falsy (``__len__`` counts events) but must be used
+            tracer = self.server.tracer
+            if tracer is None:
+                tracer = active_tracer()
+            counters: Mapping[str, float] = (
+                tracer.counters if tracer is not None else {}
+            )
+            body = prometheus_text(counters).encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+        elif self.path.split("?", 1)[0] == "/healthz":
+            body = b"ok\n"
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+        else:
+            body = b"not found\n"
+            self.send_response(404)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request logging (it would pollute CLI output)."""
+
+
+class _MetricsHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries the tracer for the handler."""
+
+    daemon_threads = True
+
+    def __init__(self, addr: tuple[str, int],
+                 tracer: Optional[Tracer]) -> None:
+        super().__init__(addr, _MetricsHandler)
+        self.tracer = tracer
+
+
+class MetricsServer:
+    """A background ``/metrics`` endpoint over a tracer's counters.
+
+    Serves the Prometheus text exposition of ``tracer.counters`` (or of
+    the process-wide active tracer when constructed with
+    ``tracer=None``, so counters recorded *after* the server starts are
+    still visible).  The listening port is ``server.port`` — pass
+    ``port=0`` to let the OS choose a free one.
+    """
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._server = _MetricsHTTPServer((host, port), tracer)
+        self.host = host
+        self.port = int(self._server.server_address[1])
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        """The ``/metrics`` URL this server answers on."""
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        """Stop serving and join the background thread (idempotent)."""
+        if self._thread.is_alive():
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+        self._server.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def start_metrics_server(
+    tracer: Optional[Tracer] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> MetricsServer:
+    """Start a background :class:`MetricsServer`; caller must ``close()``."""
+    return MetricsServer(tracer=tracer, host=host, port=port)

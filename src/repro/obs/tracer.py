@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import json
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
     "Tracer",
@@ -65,7 +65,7 @@ class SpanHandle:
 
     def __init__(
         self, name: str, cat: str, track: str, ts_ms: float,
-        args: Optional[dict],
+        args: Optional[Dict[str, Any]],
     ) -> None:
         self.name = name
         self.cat = cat
@@ -85,6 +85,25 @@ class Tracer:
         self._counters: Dict[str, float] = {}
         #: per-track stacks of open begin() spans, for nesting checks
         self._open: Dict[str, List[SpanHandle]] = {}
+        #: live event sinks (e.g. a JSONL stream); empty on the hot path
+        self._sinks: List[Callable[[Dict[str, Any]], None]] = []
+
+    # -- live sinks ----------------------------------------------------------
+
+    def add_sink(self, sink: Callable[[Dict[str, Any]], None]) -> None:
+        """Attach ``sink``: called with each event dict as it is recorded."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[Dict[str, Any]], None]) -> None:
+        """Detach a previously attached sink (no-op if absent)."""
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        self._events.append(event)
+        if self._sinks:
+            for sink in self._sinks:
+                sink(event)
 
     # -- spans ---------------------------------------------------------------
 
@@ -95,10 +114,10 @@ class Tracer:
         dur_ms: float,
         cat: str = "host",
         track: str = "host",
-        args: Optional[dict] = None,
+        args: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Record a completed interval ``[ts_ms, ts_ms + dur_ms)``."""
-        self._events.append({
+        self._emit({
             "kind": "span", "name": name, "cat": cat, "track": track,
             "ts": float(ts_ms), "dur": max(0.0, float(dur_ms)),
             "args": dict(args) if args else {},
@@ -110,7 +129,7 @@ class Tracer:
         ts_ms: float,
         cat: str = "host",
         track: str = "host",
-        args: Optional[dict] = None,
+        args: Optional[Dict[str, Any]] = None,
     ) -> SpanHandle:
         """Open a span; close it with :meth:`end` (LIFO per track)."""
         handle = SpanHandle(name, cat, track, float(ts_ms), args)
@@ -119,7 +138,7 @@ class Tracer:
 
     def end(
         self, handle: SpanHandle, ts_ms: float,
-        args: Optional[dict] = None,
+        args: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Close the innermost open span of ``handle``'s track.
 
@@ -155,10 +174,10 @@ class Tracer:
         ts_ms: float,
         cat: str = "host",
         track: str = "host",
-        args: Optional[dict] = None,
+        args: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Record a zero-duration marker."""
-        self._events.append({
+        self._emit({
             "kind": "instant", "name": name, "cat": cat, "track": track,
             "ts": float(ts_ms), "args": dict(args) if args else {},
         })
@@ -167,7 +186,7 @@ class Tracer:
         self, name: str, ts_ms: float, value: float, track: str = "host"
     ) -> None:
         """Record one point of a counter track (Chrome ``ph: "C"``)."""
-        self._events.append({
+        self._emit({
             "kind": "counter", "name": name, "track": track,
             "ts": float(ts_ms), "value": float(value),
         })
@@ -258,7 +277,7 @@ class Tracer:
             },
         }
 
-    def write(self, path) -> None:
+    def write(self, path: str) -> None:
         """Serialise :meth:`to_chrome_trace` to ``path`` as JSON."""
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.to_chrome_trace(), handle, indent=1)

@@ -77,6 +77,16 @@ class DecompositionResult:
             and ``result.memtrace.to_json()`` emits the
             ``repro.memtrace/v1`` record; see the "Memory telemetry"
             section of ``docs/OBSERVABILITY.md``.
+        report: the :class:`~repro.obs.runreport.RunReport` merging
+            every enabled telemetry vertical into one validated
+            ``repro.runreport/v1`` record, attached when requested
+            (``gpu_peel(..., report=True)``,
+            ``KCoreDecomposer(report=True)`` or CLI ``--report``), else
+            ``None``.  ``result.report.render()`` prints the unified
+            summary, ``result.report.write(path)`` emits the JSON
+            artifact, and ``result.report.validate()`` re-checks the
+            cross-layer consistency invariants; see the "Run reports"
+            section of ``docs/OBSERVABILITY.md``.
     """
 
     core: np.ndarray
@@ -91,6 +101,7 @@ class DecompositionResult:
     staticheck: Any = None
     profile: Any = None
     memtrace: Any = None
+    report: Any = None
 
     def __post_init__(self) -> None:
         core = np.asarray(self.core, dtype=np.int64)

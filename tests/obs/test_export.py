@@ -1,0 +1,158 @@
+"""Live export surfaces: JSONL streaming, Prometheus text, /metrics.
+
+The exporters are observability-only consumers of a tracer: the JSONL
+sink must stream events *as they are recorded* (not at the end), the
+Prometheus exposition must be deterministic and name-sanitised, and the
+background ``/metrics`` endpoint must serve the live counter registry.
+``write_artifact`` is the one shared writer every CLI/gate artifact
+funnels through, so its error contract (one-line message, ``False``,
+no traceback) is pinned here too.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+from repro.obs.export import (
+    JsonlSink,
+    events_to_jsonl,
+    prometheus_text,
+    start_metrics_server,
+    write_artifact,
+    write_jsonl,
+)
+from repro.obs.tracer import Tracer
+
+
+def _fetch(url):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+# -- write_artifact ----------------------------------------------------------
+
+def test_write_artifact_creates_parent_dirs(tmp_path):
+    path = tmp_path / "deep" / "nested" / "out.json"
+    assert write_artifact(str(path), lambda p: open(p, "w").close())
+    assert path.exists()
+
+
+def test_write_artifact_error_is_one_clean_line(tmp_path, capsys):
+    blocker = tmp_path / "file"
+    blocker.write_text("not a directory")
+    path = blocker / "out.json"
+    ok = write_artifact(
+        str(path), lambda p: open(p, "w").close(), label="run report"
+    )
+    assert ok is False
+    err = capsys.readouterr().err
+    assert err.startswith("error: cannot write run report")
+    assert "Traceback" not in err
+
+
+# -- JSONL -------------------------------------------------------------------
+
+def test_events_to_jsonl_one_object_per_line():
+    tracer = Tracer()
+    tracer.span("scan_kernel", 0.0, 1.5, cat="kernel")
+    tracer.sample("frontier", 1.5, 42.0)
+    text = events_to_jsonl(tracer.events)
+    lines = text.splitlines()
+    assert text.endswith("\n") and len(lines) == 2
+    parsed = [json.loads(line) for line in lines]
+    assert parsed[0]["kind"] == "span"
+    assert parsed[1] == {
+        "kind": "counter", "name": "frontier", "track": "host",
+        "ts": 1.5, "value": 42.0,
+    }
+    assert events_to_jsonl([]) == ""
+
+
+def test_write_jsonl_dumps_all_events(tmp_path):
+    tracer = Tracer()
+    tracer.instant("launch", 0.0)
+    tracer.instant("retire", 2.0)
+    path = tmp_path / "events.jsonl"
+    write_jsonl(tracer, str(path))
+    lines = path.read_text(encoding="utf-8").splitlines()
+    assert [json.loads(l)["name"] for l in lines] == ["launch", "retire"]
+
+
+def test_jsonl_sink_streams_live(tmp_path):
+    tracer = Tracer()
+    tracer.instant("before", 0.0)  # recorded before the sink attaches
+    path = tmp_path / "stream.jsonl"
+    with JsonlSink(tracer, str(path)):
+        tracer.instant("during", 1.0)
+        # the event is on disk *now*, not at close time
+        streamed = path.read_text(encoding="utf-8")
+        assert json.loads(streamed)["name"] == "during"
+        tracer.sample("disk.resident_bytes", 2.0, 4096.0)
+    tracer.instant("after", 3.0)  # detached: must not be written
+    names = [
+        json.loads(line).get("name")
+        for line in path.read_text(encoding="utf-8").splitlines()
+    ]
+    assert names == ["during", "disk.resident_bytes"]
+
+
+def test_jsonl_sink_close_is_idempotent(tmp_path):
+    tracer = Tracer()
+    sink = JsonlSink(tracer, str(tmp_path / "s.jsonl")).open()
+    sink.close()
+    sink.close()
+    tracer.instant("late", 0.0)  # no crash, nothing written
+
+
+# -- Prometheus exposition ---------------------------------------------------
+
+def test_prometheus_text_sanitises_and_sorts():
+    text = prometheus_text({"device.cycles": 12.0, "cpu.barriers": 3.0})
+    lines = text.splitlines()
+    assert lines == [
+        "# TYPE repro_cpu_barriers gauge",
+        "repro_cpu_barriers 3.0",
+        "# TYPE repro_device_cycles gauge",
+        "repro_device_cycles 12.0",
+    ]
+    assert text.endswith("\n")
+
+
+def test_prometheus_text_handles_leading_digit_and_empty():
+    text = prometheus_text({"2phase.ops": 1.0}, prefix="")
+    assert text.splitlines()[1].startswith("_2phase_ops ")
+    assert prometheus_text({}) == ""
+
+
+# -- /metrics endpoint -------------------------------------------------------
+
+def test_metrics_server_serves_tracer_counters():
+    tracer = Tracer()
+    tracer.add("device.cycles", 99.0)
+    with start_metrics_server(tracer) as server:
+        status, body = _fetch(server.url)
+        assert status == 200
+        assert "repro_device_cycles 99.0" in body
+        # counters recorded after startup are visible on the next scrape
+        tracer.add("device.cycles", 1.0)
+        _, body = _fetch(server.url)
+        assert "repro_device_cycles 100.0" in body
+
+
+def test_metrics_server_healthz_and_404():
+    with start_metrics_server(Tracer()) as server:
+        base = f"http://{server.host}:{server.port}"
+        assert _fetch(f"{base}/healthz") == (200, "ok\n")
+        try:
+            urllib.request.urlopen(f"{base}/nope", timeout=5.0)
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404
+        else:
+            raise AssertionError("expected a 404")
+
+
+def test_metrics_server_close_is_idempotent():
+    server = start_metrics_server(Tracer())
+    server.close()
+    server.close()

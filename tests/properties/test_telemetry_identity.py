@@ -1,0 +1,91 @@
+"""Full-stack telemetry is observability-only (hypothesis).
+
+The run-report arc extends the byte-identity contract beyond the GPU:
+whatever graph the strategy draws, turning on the multicore epoch
+profiler, CPU memory telemetry, the semi-external disk counters, or
+the whole unified report must leave the run itself byte-identical —
+same cores, same simulated milliseconds, same counters, same peak
+bytes.  And every report collected under a live tracer must satisfy
+all cross-layer invariants exactly, whatever the inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import api
+from repro.core.host import gpu_peel
+from repro.graph import generators as gen
+from repro.obs.runreport import collect_run_report
+
+MULTICORE_POOL = ("pkc", "pkc-serial", "park", "mpm")
+
+
+@st.composite
+def graphs(draw):
+    kind = draw(st.sampled_from(("er", "planted", "ba")))
+    seed = draw(st.integers(min_value=0, max_value=50))
+    if kind == "er":
+        return gen.erdos_renyi(
+            draw(st.integers(min_value=30, max_value=120)), 4.0, seed=seed
+        )
+    if kind == "planted":
+        return gen.planted_core(
+            100,
+            core_size=draw(st.integers(min_value=8, max_value=20)),
+            core_degree=6,
+            seed=seed,
+        )
+    return gen.barabasi_albert(80, 3, seed=seed)
+
+
+def _assert_byte_identical(plain, instrumented):
+    assert instrumented.simulated_ms == plain.simulated_ms
+    assert instrumented.rounds == plain.rounds
+    assert dict(instrumented.counters) == dict(plain.counters)
+    assert instrumented.peak_memory_bytes == plain.peak_memory_bytes
+    assert np.array_equal(instrumented.core, plain.core)
+
+
+@given(graphs(), st.sampled_from(MULTICORE_POOL))
+@settings(max_examples=8, deadline=None)
+def test_multicore_telemetry_never_perturbs_the_run(graph, name):
+    plain = api.decompose(graph, name)
+    traced = api.decompose(graph, name, profile=True, memtrace=True)
+    assert plain.profile is None and plain.memtrace is None
+    assert traced.profile is not None and traced.memtrace is not None
+    _assert_byte_identical(plain, traced)
+
+
+@given(graphs())
+@settings(max_examples=6, deadline=None)
+def test_disk_telemetry_never_perturbs_the_run(graph):
+    plain = api.decompose(graph, "semi-external")
+    traced = api.decompose(graph, "semi-external", memtrace=True)
+    assert traced.memtrace is not None
+    _assert_byte_identical(plain, traced)
+    # the disk-I/O counters themselves are always-on observability
+    for name in ("disk.passes", "disk.page_in_bytes",
+                 "disk.resident_peak_bytes"):
+        assert name in plain.counters
+
+
+@given(graphs())
+@settings(max_examples=6, deadline=None)
+def test_gpu_report_is_attached_and_byte_identical(graph):
+    plain = gpu_peel(graph)
+    reported = gpu_peel(graph, report=True)
+    assert plain.report is None
+    assert reported.report is not None
+    _assert_byte_identical(plain, reported)
+    assert reported.report.validate() == []
+
+
+@given(graphs(), st.sampled_from(("gpu-ours", "pkc", "semi-external")))
+@settings(max_examples=6, deadline=None)
+def test_collected_reports_validate_for_any_graph(graph, name):
+    report, results = collect_run_report(graph, [name])
+    assert report.validate() == []
+    plain = api.decompose(graph, name)
+    _assert_byte_identical(plain, results[0])

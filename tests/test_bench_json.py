@@ -113,3 +113,64 @@ def test_checked_in_results_validate():
         for p in validate_file(path)
     ]
     assert problems == []
+
+
+def sample_trajectory_entry():
+    return {
+        "date": "2026-08-08",
+        "dataset": "web-Google",
+        "runreport": {
+            "sections": {
+                "gpu-ours": {
+                    "simulated_ms": 12.5, "peak_memory_bytes": 1024,
+                },
+                "pkc": {
+                    "simulated_ms": 31.0, "peak_memory_bytes": 2048,
+                },
+            },
+            "invariants_checked": 23,
+        },
+        "ok": True,
+        "problems": 0,
+    }
+
+
+def validate_trajectory(record):
+    from repro.bench.schema import SIBLING_SCHEMAS
+
+    return SIBLING_SCHEMAS["repro.bench-trajectory/v1"](record)
+
+
+def test_trajectory_runreport_payload_validates():
+    record = {"schema": "repro.bench-trajectory/v1",
+              "records": [sample_trajectory_entry()]}
+    assert validate_trajectory(record) == []
+
+
+def test_trajectory_runreport_payload_problems():
+    broken_sections = sample_trajectory_entry()
+    broken_sections["runreport"]["sections"]["gpu-ours"] = {
+        "simulated_ms": "fast", "peak_memory_bytes": 1024,
+    }
+    missing_count = sample_trajectory_entry()
+    del missing_count["runreport"]["invariants_checked"]
+    not_an_object = sample_trajectory_entry()
+    not_an_object["runreport"] = [1, 2]
+    record = {
+        "schema": "repro.bench-trajectory/v1",
+        "records": [broken_sections, missing_count, not_an_object],
+    }
+    problems = validate_trajectory(record)
+    assert any("records[0].runreport.sections" in p for p in problems)
+    assert any("records[1].runreport.invariants_checked" in p
+               for p in problems)
+    assert any("records[2].runreport must be an object" in p
+               for p in problems)
+
+
+def test_trajectory_runreport_counts_as_a_payload():
+    entry = sample_trajectory_entry()
+    del entry["runreport"]
+    record = {"schema": "repro.bench-trajectory/v1", "records": [entry]}
+    problems = validate_trajectory(record)
+    assert any("needs a" in p for p in problems)

@@ -270,3 +270,124 @@ def test_memtrace_unsupported_algorithm(tmp_path, capsys):
     assert main(["--input", str(src), "--algorithm", "bz",
                  "--memtrace"]) == 2
     assert "--memtrace" in capsys.readouterr().err
+
+
+# -- unified run reports (--report) ------------------------------------------
+
+def test_report_prints_and_validates(tmp_path, capsys):
+    src = tmp_path / "g.txt"
+    src.write_text("0 1\n1 2\n0 2\n2 3\n")
+    assert main(["--input", str(src), "--algorithm", "gpu-ours",
+                 "--report"]) == 0
+    out = capsys.readouterr().out
+    assert "Run report" in out
+    assert "[gpu-ours]" in out
+    assert "kernel scan_kernel" in out
+
+
+def test_report_writes_valid_artifact(tmp_path, capsys):
+    from repro.obs.runreport import SCHEMA_VERSION, validate_runreport
+
+    src = tmp_path / "g.txt"
+    src.write_text("0 1\n1 2\n0 2\n2 3\n")
+    out = tmp_path / "reports" / "rr.json"
+    assert main(["--input", str(src),
+                 "--algorithm", "gpu-ours,pkc,semi-external",
+                 "--report", str(out)]) == 0
+    record = json.loads(out.read_text())
+    assert record["schema"] == SCHEMA_VERSION
+    assert validate_runreport(record) == []
+    assert [s["algorithm"] for s in record["sections"]] == [
+        "gpu-ours", "pkc", "semi-external"
+    ]
+    assert "wrote run report (3 section(s))" in capsys.readouterr().out
+
+
+def test_report_rejects_other_telemetry_flags(tmp_path, capsys):
+    src = tmp_path / "g.txt"
+    src.write_text("0 1\n1 2\n0 2\n")
+    assert main(["--input", str(src), "--algorithm", "gpu-ours",
+                 "--report", "--sanitize", "--memtrace"]) == 2
+    err = capsys.readouterr().err
+    assert "--report" in err and "--sanitize" in err
+    assert "--memtrace" in err
+
+
+def test_report_rejects_unknown_algorithm(tmp_path, capsys):
+    src = tmp_path / "g.txt"
+    src.write_text("0 1\n1 2\n0 2\n")
+    assert main(["--input", str(src), "--algorithm", "gpu-ours,nope",
+                 "--report"]) == 2
+    assert "'nope'" in capsys.readouterr().err
+
+
+def test_comma_list_without_report_hints(tmp_path, capsys):
+    src = tmp_path / "g.txt"
+    src.write_text("0 1\n1 2\n0 2\n")
+    assert main(["--input", str(src),
+                 "--algorithm", "gpu-ours,pkc"]) == 2
+    assert "comma-separated lists need --report" in capsys.readouterr().err
+
+
+def test_report_unwritable_path_is_a_clear_error(tmp_path, capsys):
+    src = tmp_path / "g.txt"
+    src.write_text("0 1\n1 2\n0 2\n")
+    blocker = tmp_path / "blocker"
+    blocker.write_text("")
+    assert main(["--input", str(src), "--algorithm", "gpu-ours",
+                 "--report", str(blocker / "rr.json")]) == 1
+    err = capsys.readouterr().err
+    assert "cannot write run report" in err
+    assert "Traceback" not in err
+
+
+# -- repro obs diff ----------------------------------------------------------
+
+def _write_report(tmp_path, name, src_text="0 1\n1 2\n0 2\n2 3\n"):
+    src = tmp_path / "g.txt"
+    src.write_text(src_text)
+    out = tmp_path / name
+    assert main(["--input", str(src), "--algorithm", "gpu-ours",
+                 "--report", str(out)]) == 0
+    return out
+
+
+def test_obs_diff_identical_reports(tmp_path, capsys):
+    path = _write_report(tmp_path, "rr.json")
+    capsys.readouterr()
+    assert main(["obs", "diff", str(path), str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "no regressions" in out
+    assert "[gpu-ours] unchanged" in out
+
+
+def test_obs_diff_flags_regression(tmp_path, capsys):
+    path = _write_report(tmp_path, "old.json")
+    record = json.loads(path.read_text())
+    record["sections"][0]["simulated_ms"] *= 2.0
+    worse = tmp_path / "new.json"
+    worse.write_text(json.dumps(record))
+    capsys.readouterr()
+    assert main(["obs", "diff", str(path), str(worse)]) == 1
+    captured = capsys.readouterr()
+    assert "REGRESSIONS" in captured.out
+    assert "regressed" in captured.out
+
+
+def test_obs_diff_usage_errors(tmp_path, capsys):
+    assert main(["obs", "diff", "only-one.json"]) == 2
+    assert "usage" in capsys.readouterr().err
+    assert main(["obs", "diff", str(tmp_path / "a.json"),
+                 str(tmp_path / "b.json")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_obs_diff_warns_on_invalid_report(tmp_path, capsys):
+    path = _write_report(tmp_path, "old.json")
+    record = json.loads(path.read_text())
+    record["sections"][0]["counters"]["kernel.scan.cycles"] += 1.0
+    broken = tmp_path / "broken.json"
+    broken.write_text(json.dumps(record))
+    capsys.readouterr()
+    main(["obs", "diff", str(path), str(broken)])
+    assert "warning" in capsys.readouterr().err
