@@ -88,6 +88,8 @@ def _invariant_count(record: Dict[str, Any]) -> int:
             count += 1  # profile validator
         if "kernel.scan.cycles" in counters:
             count += 6  # cycles x2 layers x2 kernels, launches, served
+        if sec.get("critpath") is not None:
+            count += 4  # critpath validator, clock, kernel agreement x2
         if sec.get("multicore") is not None:
             count += 4  # tiling, end re-derivation, bounds, barriers
         if "disk.passes" in counters:

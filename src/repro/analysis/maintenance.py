@@ -32,7 +32,9 @@ __all__ = ["DynamicCoreMaintainer"]
 class DynamicCoreMaintainer:
     """Maintains core numbers under edge insertions and deletions."""
 
-    def __init__(self, graph: CSRGraph | None = None, num_vertices: int = 0):
+    def __init__(
+        self, graph: CSRGraph | None = None, num_vertices: int = 0
+    ) -> None:
         if graph is not None:
             self._adjacency: List[Set[int]] = [
                 set(map(int, graph.neighbors_of(v)))

@@ -30,6 +30,7 @@ from repro.systems.vetga import vetga_decompose
 
 __all__ = [
     "ALGORITHMS",
+    "CRITPATHABLE",
     "ENGINEABLE",
     "MEMTRACEABLE",
     "PROFILABLE",
@@ -206,6 +207,20 @@ MEMTRACEABLE: FrozenSet[str] = (
     | frozenset(_SYSTEM_NAMES)
     | frozenset(_MULTICORE_NAMES)
     | frozenset({"semi-external"})
+)
+
+
+#: algorithms whose runner accepts ``critpath=True`` (the causal
+#: critical-path analyzer with what-if projections,
+#: :mod:`repro.obs.critpath`): the single-GPU peeling variants, whose
+#: per-block kernel timings the analyzer replays exactly, and the
+#: multi-GPU runners, whose coordinator cost terms it attributes to
+#: compute-, straggler-, or exchange-bound rounds.  The system
+#: emulations charge logical kernels without per-block timings, and the
+#: CPU baselines model no device timeline, so neither can be analyzed.
+CRITPATHABLE: FrozenSet[str] = (
+    frozenset(f"gpu-{name}" for name in variant_names())
+    | frozenset({"gpu-multi2", "gpu-multi4"})
 )
 
 

@@ -94,14 +94,18 @@ def _validate_trajectory(record: Dict[str, Any]) -> List[str]:
     ``engine_speedup`` (a dated host wall-clock comparison of the
     execution engines, see ``docs/SIMULATOR.md``), ``runreport`` (the
     run-report gate's per-algorithm summary, see
-    ``scripts/check_runreport.py``), or any combination — at least one
-    must be present.
+    ``scripts/check_runreport.py``), ``critpath`` (the critical-path
+    gate's per-program speedup ceilings and multi-GPU round
+    attribution, see ``scripts/check_critpath.py``), or any
+    combination — at least one must be present.
     """
     errors: List[str] = []
     entries = record.get("records")
     if not isinstance(entries, list):
         return ["records must be a list"]
-    payload_keys = ("cycles", "peaks", "engine_speedup", "runreport")
+    payload_keys = (
+        "cycles", "peaks", "engine_speedup", "runreport", "critpath",
+    )
     for i, entry in enumerate(entries):
         if not isinstance(entry, dict):
             errors.append(f"records[{i}] must be an object")
@@ -111,8 +115,8 @@ def _validate_trajectory(record: Dict[str, Any]) -> List[str]:
                 errors.append(f"records[{i}].{key} must be a non-empty string")
         if not any(key in entry for key in payload_keys):
             errors.append(
-                f"records[{i}] needs a cycles, peaks or "
-                f"engine_speedup object"
+                f"records[{i}] needs a payload: one of "
+                f"{', '.join(payload_keys)}"
             )
         for key in ("cycles", "peaks"):
             if key not in entry:
@@ -174,6 +178,39 @@ def _validate_trajectory(record: Dict[str, Any]) -> List[str]:
                 if not _is_number(rr.get("invariants_checked")):
                     errors.append(
                         f"records[{i}].runreport.invariants_checked "
+                        f"must be a number"
+                    )
+        if "critpath" in entry:
+            cp = entry["critpath"]
+            if not isinstance(cp, dict):
+                errors.append(f"records[{i}].critpath must be an object")
+            else:
+                programs = cp.get("programs")
+                if not isinstance(programs, dict) or not programs or not all(
+                    isinstance(p, dict)
+                    and isinstance(p.get("best_scenario"), str)
+                    and _is_number(p.get("best_ceiling"))
+                    for p in programs.values()
+                ):
+                    errors.append(
+                        f"records[{i}].critpath.programs must map "
+                        f"programs to objects with a best_scenario "
+                        f"string and a numeric best_ceiling"
+                    )
+                bounds = cp.get("round_bounds", {})
+                if not isinstance(bounds, dict) or not all(
+                    isinstance(hist, dict) and all(
+                        _is_number(v) for v in hist.values()
+                    )
+                    for hist in bounds.values()
+                ):
+                    errors.append(
+                        f"records[{i}].critpath.round_bounds must map "
+                        f"programs to bound-class histograms"
+                    )
+                if not _is_number(cp.get("invariants_checked")):
+                    errors.append(
+                        f"records[{i}].critpath.invariants_checked "
                         f"must be a number"
                     )
         if not isinstance(entry.get("ok"), bool):

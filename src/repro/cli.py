@@ -51,6 +51,19 @@ Error findings (double-free, use-after-free) make the exit status 1.
 Supported for everything that allocates simulated device memory
 (``repro.api.MEMTRACEABLE``).
 
+``--critpath [FILE]`` runs the causal critical-path analyzer (see the
+"Critical path & what-if" section of ``docs/OBSERVABILITY.md``) and
+prints the per-track slack accounting plus the ranked what-if
+speedup-ceiling table — which counterfactual (free atomics, perfect
+coalescing, zero barriers, infinite interconnect) buys the most, each
+projection bracketed by the measured time above and the static floor
+certificates below.  For the multi-GPU algorithms every sub-round is
+additionally classified compute-, straggler-, or exchange-bound.
+With a ``FILE`` argument the ``repro.critpath/v1`` JSON record is
+written there too.  The validator re-derives the whole record exactly;
+violations exit 1.  Supported for the simulated peeling algorithms
+(``repro.api.CRITPATHABLE``).
+
 ``--engine NAME`` selects the simulator execution engine for the
 ``gpu-*`` algorithms (``repro.api.ENGINEABLE``): ``reference``,
 ``vectorized`` (the default) or ``jit``.  Engines are byte-identical
@@ -85,6 +98,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.api import (
+    CRITPATHABLE,
     DATAFLOWABLE,
     ENGINEABLE,
     MEMTRACEABLE,
@@ -174,6 +188,14 @@ def build_parser() -> argparse.ArgumentParser:
              "attribution) and print the timeline; with FILE, also "
              "write the repro.memtrace/v1 JSON report there; "
              "double-free/use-after-free findings exit 1",
+    )
+    parser.add_argument(
+        "--critpath", nargs="?", const="-", default=None, metavar="FILE",
+        help="analyze the run's causal critical path and print the "
+             "slack accounting and ranked what-if speedup ceilings "
+             "(multi-GPU runs also get per-round straggler/exchange "
+             "attribution); with FILE, also write the repro.critpath/v1 "
+             "JSON record there; validation failures exit 1",
     )
     parser.add_argument(
         "--staticheck", action="store_true",
@@ -362,6 +384,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             ("--dataflow", args.dataflow),
             ("--ncu", args.ncu is not None),
             ("--memtrace", args.memtrace is not None),
+            ("--critpath", args.critpath is not None),
             ("--engine", args.engine is not None),
         ) if on]
         if incompatible:
@@ -415,6 +438,11 @@ def main(argv: Sequence[str] | None = None) -> int:
               f"--memtrace (supported: {', '.join(sorted(MEMTRACEABLE))})",
               file=sys.stderr)
         return 2
+    if args.critpath is not None and args.algorithm not in CRITPATHABLE:
+        print(f"error: algorithm {args.algorithm!r} does not support "
+              f"--critpath (supported: {', '.join(sorted(CRITPATHABLE))})",
+              file=sys.stderr)
+        return 2
     if args.dataset:
         try:
             graph = datasets.load(args.dataset)
@@ -460,6 +488,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         run_kwargs["profile"] = True
     if args.memtrace is not None:
         run_kwargs["memtrace"] = True
+    if args.critpath is not None:
+        run_kwargs["critpath"] = True
     if args.profile:
         from repro.obs import start_tracing, stop_tracing
 
@@ -537,6 +567,25 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"wrote memtrace ({memtrace.peak_bytes} peak bytes) to "
                   f"{args.memtrace}")
         if memtrace.errors:
+            return 1
+    if args.critpath is not None:
+        critpath = result.critpath
+        if critpath is None:
+            print("critpath: no report produced", file=sys.stderr)
+            return 1
+        print(critpath.render())
+        if args.critpath != "-":
+            if not _write_file(args.critpath, critpath.write, "critpath"):
+                return 1
+            print(f"wrote critical-path record "
+                  f"({len(critpath.record['nodes'])} node(s)) to "
+                  f"{args.critpath}")
+        problems = critpath.validate()
+        if problems:
+            print(f"critpath: {len(problems)} invariant violation(s)",
+                  file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
             return 1
     return 0
 

@@ -260,6 +260,7 @@ def gpu_bfs(
     memtrace: bool = False,
     engine: "str | ExecutionEngine | None" = None,
     buffer_capacity: int | None = None,
+    critpath: bool = False,
 ) -> "DecompositionResult":
     """Run level-synchronous BFS from ``source`` on the simulator.
 
@@ -269,8 +270,13 @@ def gpu_bfs(
     differential checker with the ``bfs`` program's certificate,
     ``dataflow`` checks every launch against the kernel's dataflow
     certificate, and ``profile``/``memtrace``/``engine`` behave as for
-    peeling.  Returns a :class:`~repro.result.DecompositionResult`
-    whose ``core`` array holds BFS levels (``-1`` = unreachable).
+    peeling.  ``critpath`` builds the causal critical-path analysis of
+    :mod:`repro.obs.critpath` on ``result.critpath`` (implies
+    ``profile``); the ``bfs`` contract declares no ``floors``, so the
+    analyzer brackets its projections against a zero static floor —
+    admission alone is enough, no analyzer edits.  Returns a
+    :class:`~repro.result.DecompositionResult` whose ``core`` array
+    holds BFS levels (``-1`` = unreachable).
     """
     from repro.gpusim.device import Device
     from repro.result import DecompositionResult
@@ -281,18 +287,23 @@ def gpu_bfs(
             f"BFS source {source} out of range for {n} vertices"
         )
     cfg = _bfs_variants()["bfs-base"]
+    want_profile = profile or critpath  # the analyzer needs block timings
     if device is None:
         device = Device(
             spec=spec,
             cost_model=cost_model,
             tracer=tracer,
             sanitize=sanitize,
-            profile=profile,
+            profile=want_profile,
             memtrace=memtrace,
             engine=engine,
         )
     elif tracer is not None:
         device.tracer = tracer
+    if want_profile and device.profiler is None:
+        from repro.profile.profiler import KernelProfiler
+
+        device.profiler = KernelProfiler()
     spec = device.spec
     profiler = device.profiler
     if profiler is not None:
@@ -345,6 +356,26 @@ def gpu_bfs(
             memtrace=memtracer.report() if memtracer is not None else None,
         )
 
+    cpath = None
+    if critpath:
+        from repro.obs.critpath import CritPathCollector
+        from repro.staticheck.bounds import launch_env
+
+        cpath = CritPathCollector(
+            spec=spec,
+            cost=device.cost_model,
+            algorithm="gpu-bfs",
+            variant=cfg.name,
+            track=device.name,
+            cfg=cfg,
+            env=launch_env(
+                n, len(graph.neighbors), graph.max_degree, spec, cfg,
+                buffer_capacity=buffer_capacity,
+            ),
+            base_cycles=device.total_cycles,
+            base_launches=device.kernel_launches,
+        )
+
     grid_dim = spec.default_grid_dim
     capacity = buffer_capacity or spec.block_buffer_capacity
 
@@ -383,6 +414,8 @@ def gpu_bfs(
             checker.observe("bfs_kernel", stats)
         if dflow is not None:
             dflow.observe("bfs_kernel", stats)
+        if cpath is not None:
+            cpath.observe_launch("bfs_kernel", stats, round_index=level)
         tails = device.read_back(tails_d)
         chunks = device.read_back(buf_d)
         nxt = np.concatenate([
@@ -432,4 +465,11 @@ def gpu_bfs(
         staticheck=_static_report(),
         profile=profiler.report() if profiler is not None else None,
         memtrace=memtracer.report() if memtracer is not None else None,
+        critpath=(
+            cpath.build(
+                elapsed_ms=device.elapsed_ms,
+                kernel_launches=device.kernel_launches,
+            )
+            if cpath is not None else None
+        ),
     )

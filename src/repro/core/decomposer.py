@@ -53,6 +53,14 @@ unified, validated ``repro.runreport/v1`` record on ``result.report``
 report covers kernels, cycles, and the exact memory-peak attribution;
 in ``fast`` mode it degrades to a minimal section (timings and stats —
 there is no device telemetry to merge).
+
+Pass ``critpath=True`` to run the causal critical-path analyzer (see
+the "Critical path & what-if" section of ``docs/OBSERVABILITY.md``):
+in ``simulate`` mode ``result.critpath`` carries the
+:class:`~repro.obs.critpath.CritPathReport` — the causal DAG, exact
+slack accounting, and the ranked what-if speedup-ceiling table; in
+``fast`` mode there is no simulated timeline to analyze, so
+``result.critpath`` stays ``None``.
 """
 
 from __future__ import annotations
@@ -102,6 +110,7 @@ class KCoreDecomposer:
         memtrace: bool = False,
         engine: "str | ExecutionEngine | None" = None,
         report: bool = False,
+        critpath: bool = False,
     ) -> None:
         if mode not in _MODES:
             raise ReproError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -121,6 +130,10 @@ class KCoreDecomposer:
         #: mode runs no simulator kernels, so the engine is unused.
         self.engine = engine
         self.report = report
+        #: run the causal critical-path analyzer in ``simulate`` mode
+        #: (:mod:`repro.obs.critpath`); ``fast`` mode has no simulated
+        #: timeline, so ``result.critpath`` stays ``None`` there
+        self.critpath = critpath
 
     def decompose(self, graph: CSRGraph) -> DecompositionResult:
         """Compute the core number of every vertex of ``graph``."""
@@ -197,6 +210,7 @@ class KCoreDecomposer:
             memtrace=self.memtrace,
             engine=self.engine,
             report=self.report,
+            critpath=self.critpath,
         )
 
     def core_numbers(self, graph: CSRGraph) -> np.ndarray:

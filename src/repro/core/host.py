@@ -116,6 +116,15 @@ class GpuPeelOptions:
     #: ``memtrace``.  Observability-only — simulated time, counters,
     #: and core numbers are byte-identical with reporting on or off
     report: bool = False
+    #: reconstruct the causal critical path of the run — per-launch
+    #: DAG nodes with per-SM lane slack, exact cycle accounting, static
+    #: floor certificates and the ranked what-if speedup-ceiling table
+    #: (see :mod:`repro.obs.critpath`) — on ``result.critpath``.
+    #: Implies ``profile`` (the analyzer needs per-block timings).
+    #: Observability-only — simulated time, counters, and core numbers
+    #: are byte-identical with the analyzer on or off.  Empty graphs
+    #: launch no kernels and attach ``None``.
+    critpath: bool = False
 
 
 def gpu_peel(
@@ -133,6 +142,7 @@ def gpu_peel(
     memtrace: bool | None = None,
     engine: "str | ExecutionEngine | None" = None,
     report: bool | None = None,
+    critpath: bool | None = None,
 ) -> DecompositionResult:
     """Run the paper's GPU peeling algorithm on the simulator.
 
@@ -192,6 +202,13 @@ def gpu_peel(
             given); implies ``profile`` and ``memtrace`` so the report
             always covers kernels, cycles and the memory peak.  See
             the "Run reports" section of ``docs/OBSERVABILITY.md``.
+        critpath: reconstruct the run's causal critical path and
+            what-if projections (overrides ``options.critpath`` when
+            given); the validated
+            :class:`~repro.obs.critpath.CritPathReport` lands on
+            ``result.critpath``.  Implies ``profile``.  See the
+            "Critical path & what-if" section of
+            ``docs/OBSERVABILITY.md``.
 
     Returns:
         A :class:`DecompositionResult` whose ``simulated_ms`` /
@@ -211,11 +228,16 @@ def gpu_peel(
     want_memtrace = opts.memtrace if memtrace is None else memtrace
     want_engine = opts.engine if engine is None else engine
     want_report = opts.report if report is None else report
+    want_critpath = opts.critpath if critpath is None else critpath
     if want_report:
         # a run report always covers the kernel profile and the memory
         # peak attribution; both are observability-only
         want_profile = True
         want_memtrace = True
+    if want_critpath:
+        # the critical-path analyzer consumes per-block timings, which
+        # only ride along with a profiler attached
+        want_profile = True
     if want_staticheck and cfg.ring_buffer:
         raise ReproError(
             "staticheck is not available for ring-buffer variants: a "
@@ -316,6 +338,28 @@ def gpu_peel(
             ),
         ))
 
+    cpath = None
+    if want_critpath:
+        from repro.obs.critpath import CritPathCollector
+        from repro.staticheck.bounds import launch_env
+
+        cpath = CritPathCollector(
+            spec=spec,
+            cost=device.cost_model,
+            algorithm=f"gpu-{cfg.name}",
+            variant=cfg.name,
+            track=device.name,
+            cfg=cfg,
+            env=launch_env(
+                n, len(graph.neighbors), graph.max_degree, spec, cfg,
+                buffer_capacity=opts.buffer_capacity,
+            ),
+            # a shared device may carry prior work; the analyzer folds
+            # its cycles from the same starting point the device does
+            base_cycles=device.total_cycles,
+            base_launches=device.kernel_launches,
+        )
+
     grid_dim = spec.default_grid_dim
     capacity = opts.buffer_capacity or spec.block_buffer_capacity
     shared_capacity = spec.shared_buffer_capacity if cfg.shared_buffer else 0
@@ -364,6 +408,8 @@ def gpu_peel(
             checker.observe("scan_kernel", stats)
         if dflow is not None:
             dflow.observe("scan_kernel", stats)
+        if cpath is not None:
+            cpath.observe_launch("scan_kernel", stats, round_index=k)
         scan_cycles += stats.cycles
         if stats.buffer_peak > buffer_peak:
             buffer_peak = stats.buffer_peak
@@ -378,6 +424,8 @@ def gpu_peel(
             checker.observe("loop_kernel", stats)
         if dflow is not None:
             dflow.observe("loop_kernel", stats)
+        if cpath is not None:
+            cpath.observe_launch("loop_kernel", stats, round_index=k)
         loop_cycles += stats.cycles
         if stats.buffer_peak > buffer_peak:
             buffer_peak = stats.buffer_peak
@@ -451,4 +499,11 @@ def gpu_peel(
         staticheck=_static_report(),
         profile=profiler.report() if profiler is not None else None,
         memtrace=memtracer.report() if memtracer is not None else None,
+        critpath=(
+            cpath.build(
+                elapsed_ms=device.elapsed_ms,
+                kernel_launches=device.kernel_launches,
+            )
+            if cpath is not None else None
+        ),
     ))

@@ -89,6 +89,7 @@ def multi_gpu_peel(
     sanitize: bool = False,
     memtrace: bool = False,
     engine: "str | ExecutionEngine | None" = None,
+    critpath: bool = False,
 ) -> DecompositionResult:
     """Decompose ``graph`` across ``num_devices`` simulated GPUs.
 
@@ -113,6 +114,15 @@ def multi_gpu_peel(
     ``result.memtrace`` carries one worker section per device, and
     ``stats["per_device_peak_bytes"]`` lists every worker's peak so the
     headline max is auditable.
+
+    With ``critpath=True`` every sub-round's coordinator cost terms and
+    worker kernel timings are recorded and compiled into a
+    :class:`~repro.obs.critpath.CritPathReport` on ``result.critpath``:
+    each round is classified compute-, straggler-, or exchange-bound,
+    and the what-if table projects the speedup ceiling of free atomics,
+    perfect coalescing, zero barriers, and an infinite interconnect.
+    Observability only — core numbers, ``simulated_ms`` and counters are
+    byte-identical with or without it.
     """
     cfg = variant if isinstance(variant, VariantConfig) else get_variant(variant)
     spec = spec or DeviceSpec()
@@ -159,7 +169,7 @@ def multi_gpu_peel(
         Device(
             spec=spec, cost_model=cost_model, sanitizer=sanitizer,
             memtracer=trackers[d] if trackers is not None else None,
-            engine=engine,
+            engine=engine, name=f"gpu{d}", profile=critpath,
         )
         for d in range(num_devices)
     ]
@@ -192,6 +202,7 @@ def multi_gpu_peel(
     grid_dim = spec.default_grid_dim
     cost = devices[0].cost_model
     coordinator_cycles = 0.0
+    raw_rounds: list[dict] = []  # per sub-round cost terms for critpath
     alive = np.ones(n, dtype=bool)
     master_deg = graph.degrees.astype(np.int64).copy()
     removed = 0
@@ -216,9 +227,12 @@ def multi_gpu_peel(
             sub_rounds += 1
             alive[frontier] = False
             removed += frontier.size
-            coordinator_cycles += n * 1.0  # master frontier filter
+            filter_cycles = n * 1.0  # master frontier filter
+            coordinator_cycles += filter_cycles
             pre = master_deg.copy()
             worker_ms = []
+            seed_cycles = []
+            round_launches: list[dict | None] = []
             for w in workers:
                 device = w["device"]
                 lo, hi = w["range"]
@@ -233,19 +247,25 @@ def multi_gpu_peel(
                         b * capacity : b * capacity + share.size
                     ] = share
                     w["tails"].data[b] = share.size
-                coordinator_cycles += (
-                    mine.size * opts.transfer_cycles_per_word
-                )
+                seed = mine.size * opts.transfer_cycles_per_word
+                seed_cycles.append(seed)
+                coordinator_cycles += seed
+                stats = None
                 if mine.size:
                     # own_range (lo, lo): offsets index from lo, but the
                     # ownership window is empty, disabling appends
-                    device.launch(
+                    stats = device.launch(
                         loop_kernel,
                         args=(k, w["offsets"], w["neighbors"], w["deg"],
                               w["buf"], w["tails"], w["count"], capacity,
                               shared_capacity, cfg, (lo, lo)),
                     )
                 worker_ms.append(device.elapsed_ms - before_ms)
+                round_launches.append(
+                    None if stats is None
+                    else {"device": device.name, "kernel": "loop_kernel",
+                          "stats": stats}
+                )
             # ---- master aggregation of border-vertex degree updates ----
             deltas = np.stack([w["deg"].data - pre for w in workers])
             merged = pre + deltas.sum(axis=0)
@@ -257,18 +277,57 @@ def multi_gpu_peel(
             for w in workers:
                 w["deg"].data[:] = merged
             words = n * (num_devices * 2)  # gather + broadcast
-            coordinator_cycles += (
+            exchange_cycles = (
                 words * opts.transfer_cycles_per_word
                 + n * num_devices * opts.reduce_cycles_per_word
             )
-            # parallel workers: the sub-round costs the slowest one
-            if worker_ms:
-                coordinator_cycles += max(worker_ms) * 1e6 * cost.clock_ghz
+            coordinator_cycles += exchange_cycles
+            # parallel workers: the sub-round costs the slowest one.
+            # Per-worker cycles are recorded with the exact expression
+            # the accumulator uses, so max(worker_cycles) is the same
+            # float as max(worker_ms) * 1e6 * clock_ghz (scaling by a
+            # positive constant preserves the argmax).
+            worker_cycles = [
+                ms * 1e6 * cost.clock_ghz for ms in worker_ms
+            ]
+            if worker_cycles:
+                coordinator_cycles += max(worker_cycles)
+            if critpath:
+                raw_rounds.append({
+                    "k": k,
+                    "frontier": int(frontier.size),
+                    "filter_cycles": filter_cycles,
+                    "seed_cycles": seed_cycles,
+                    "worker_cycles": worker_cycles,
+                    "exchange_cycles": exchange_cycles,
+                    "launches": round_launches,
+                })
         k += 1
 
     core = master_deg
     cost = devices[0].cost_model
     total_ms = cost.cycles_to_ms(coordinator_cycles)
+    cpath_report = None
+    if critpath:
+        from repro.obs.critpath import build_multi_critpath
+        from repro.staticheck.bounds import launch_env
+
+        cpath_report = build_multi_critpath(
+            algorithm=algorithm,
+            variant=cfg.name,
+            num_devices=num_devices,
+            rounds=raw_rounds,
+            elapsed_ms=total_ms,
+            spec=spec,
+            cost=cost,
+            transfer_cycles_per_word=opts.transfer_cycles_per_word,
+            reduce_cycles_per_word=opts.reduce_cycles_per_word,
+            worker_names=[d.name for d in devices],
+            cfg=cfg,
+            env=launch_env(
+                n, len(graph.neighbors), graph.max_degree, spec, cfg, None
+            ),
+        )
     if trackers is not None:
         for d, device in enumerate(devices):
             device.free_all()
@@ -290,4 +349,5 @@ def multi_gpu_peel(
         },
         sanitizer=sanitizer.report if sanitizer is not None else None,
         memtrace=_memtrace_report(),
+        critpath=cpath_report,
     )

@@ -23,11 +23,12 @@ test — no event objects are allocated on the cold path.
 
 With a tracer attached, the device emits, on the *simulated* timeline:
 
-* one ``"device"``-track span per :meth:`launch`, named after the
-  kernel function, carrying the launch's
-  :class:`~repro.gpusim.scheduler.KernelStats` (cycles, issued
-  warp-instructions, memory transactions, barriers, atomic conflicts,
-  buffer high-water mark) as span arguments;
+* one span per :meth:`launch` on the device's own track (``name=``,
+  default ``"device"``; multi-GPU workers are ``gpu0``, ``gpu1``, ...),
+  named after the kernel function, carrying the emitting device id and
+  the launch's :class:`~repro.gpusim.scheduler.KernelStats` (cycles,
+  issued warp-instructions, memory transactions, barriers, atomic
+  conflicts, buffer high-water mark) as span arguments;
 * one span per labelled :meth:`charge` — how the graph-parallel system
   emulations surface their logical kernels (supersteps, advance/filter
   iterations, vector passes);
@@ -135,7 +136,15 @@ class Device:
         memtrace: bool = False,
         memtracer: "MemoryTracker | None" = None,
         engine: "str | ExecutionEngine | None" = None,
+        name: str = "device",
     ) -> None:
+        #: the device's trace-track name.  Single-device hosts keep the
+        #: default ``"device"``; multi-GPU peeling names one worker per
+        #: device (``gpu0``, ``gpu1``, ...) so every span the worker
+        #: emits is self-describing — consumers (Perfetto, the critical
+        #: path DAG builder) separate workers by track, never by parsing
+        #: span names.
+        self.name = name
         self.spec = spec or DeviceSpec()
         self.spec.validate()
         self.cost_model = cost_model or CostModel()
@@ -202,7 +211,7 @@ class Device:
         if tr is not None:
             tr.instant(
                 f"malloc {name}", self.elapsed_ms, cat="memory",
-                track="device",
+                track=self.name,
                 args={"bytes": array.device_bytes,
                       "in_use": self.memory.in_use},
             )
@@ -233,7 +242,7 @@ class Device:
         if tr is not None:
             tr.instant(
                 f"free {name}", self.elapsed_ms, cat="memory",
-                track="device", args={"in_use": self.memory.in_use},
+                track=self.name, args={"in_use": self.memory.in_use},
             )
             if mt is not None:
                 tr.sample(
@@ -324,8 +333,9 @@ class Device:
                 launch_ts,
                 self.elapsed_ms - launch_ts,
                 cat="kernel",
-                track="device",
+                track=self.name,
                 args={
+                    "device": self.name,
                     "grid_dim": grid, "block_dim": block,
                     "engine": self.engine.name,
                     "cycles": stats.cycles, "issued": stats.issued,
@@ -379,7 +389,7 @@ class Device:
             if label is not None:
                 tr.span(
                     label, charge_ts, self.elapsed_ms - charge_ts,
-                    cat="system", track="device", args=args,
+                    cat="system", track=self.name, args=args,
                 )
             tr.add("device.kernel_launches", launches)
             tr.add("device.cycles", cycles)

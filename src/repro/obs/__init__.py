@@ -28,6 +28,13 @@ counter catalogue, and a worked Perfetto example.
 """
 
 from repro.obs.chrome import validate_chrome_trace
+from repro.obs.critpath import (
+    CritPathCollector,
+    CritPathReport,
+    build_multi_critpath,
+    render_critpath,
+    validate_critpath,
+)
 from repro.obs.export import (
     JsonlSink,
     MetricsServer,
@@ -53,21 +60,26 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "CritPathCollector",
+    "CritPathReport",
     "JsonlSink",
     "MetricsServer",
     "RunReport",
     "Tracer",
     "active_tracer",
+    "build_multi_critpath",
     "collect_run_report",
     "diff_runreports",
     "events_to_jsonl",
     "prometheus_text",
+    "render_critpath",
     "render_runreport",
     "start_metrics_server",
     "start_tracing",
     "stop_tracing",
     "tracing",
     "validate_chrome_trace",
+    "validate_critpath",
     "validate_runreport",
     "write_artifact",
     "write_jsonl",

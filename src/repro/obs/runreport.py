@@ -144,6 +144,7 @@ def section_from_result(result: Any) -> Dict[str, Any]:
         "staticheck": None,
         "trace": None,
         "engine": None,
+        "critpath": None,
     }
     profile = result.profile
     if profile is not None:
@@ -154,6 +155,8 @@ def section_from_result(result: Any) -> Dict[str, Any]:
             section["profile"] = record
     if result.memtrace is not None:
         section["memtrace"] = result.memtrace.to_json()
+    if result.critpath is not None:
+        section["critpath"] = result.critpath.to_json()
     if result.sanitizer is not None:
         section["sanitizer"] = _findings_summary(result.sanitizer)
     if result.staticheck is not None:
@@ -384,6 +387,61 @@ def _check_multicore_section(
             )
 
 
+def _check_critpath_section(
+    sec: Dict[str, Any], where: str, errors: List[str]
+) -> None:
+    """Critical-path invariants of a section (all exact): the embedded
+    ``repro.critpath/v1`` record must pass its own validator, agree
+    with the section clock, and re-state the host's per-kernel cycle
+    and launch counters bit-for-bit (both sides accumulate the same
+    per-launch ``stats.cycles`` in the same order)."""
+    record = sec["critpath"]
+    from repro.obs.critpath import validate_critpath
+
+    for problem in validate_critpath(record):
+        errors.append(f"{where}: critpath: {problem}")
+    if record.get("elapsed_ms") != sec.get("simulated_ms"):
+        errors.append(
+            f"{where}: critpath elapsed_ms "
+            f"({record.get('elapsed_ms')!r}) != section simulated_ms "
+            f"({sec.get('simulated_ms')!r})"
+        )
+    counters = sec.get("counters", {})
+    for name, agg in record.get("kernels", {}).items():
+        short = name[: -len("_kernel")] if name.endswith("_kernel") else name
+        cycles = counters.get(f"kernel.{short}.cycles")
+        if cycles is not None and cycles != agg.get("cycles"):
+            errors.append(
+                f"{where}: critpath cycles for {name!r} "
+                f"({agg.get('cycles')!r}) != counter kernel.{short}."
+                f"cycles ({cycles!r})"
+            )
+        launches = counters.get(f"kernel.{short}.launches")
+        if launches is not None and launches != agg.get("launches"):
+            errors.append(
+                f"{where}: critpath launches for {name!r} "
+                f"({agg.get('launches')!r}) != counter kernel.{short}."
+                f"launches ({launches!r})"
+            )
+    if record.get("kind") == "single":
+        device_cycles = counters.get("device.cycles")
+        total = record.get("accounting", {}).get("total_cycles")
+        if device_cycles is not None and total != device_cycles:
+            errors.append(
+                f"{where}: critpath accounting total_cycles ({total!r}) "
+                f"!= device.cycles ({device_cycles!r})"
+            )
+    else:
+        stats = sec.get("stats", {})
+        if "num_devices" in stats \
+                and stats["num_devices"] != record.get("num_devices"):
+            errors.append(
+                f"{where}: critpath num_devices "
+                f"({record.get('num_devices')!r}) != stats num_devices "
+                f"({stats['num_devices']!r})"
+            )
+
+
 def _check_disk_section(
     sec: Dict[str, Any], where: str, errors: List[str]
 ) -> None:
@@ -488,6 +546,8 @@ def validate_runreport(record: Any) -> List[str]:
                 errors.append(f"{where}: profile: {problem}")
         if "kernel.scan.cycles" in counters:
             _check_gpu_section(sec, where, errors)
+        if sec.get("critpath") is not None:
+            _check_critpath_section(sec, where, errors)
         if sec.get("multicore") is not None:
             _check_multicore_section(sec, where, errors)
         if "disk.passes" in counters:
@@ -555,6 +615,27 @@ def render_runreport(record: Dict[str, Any]) -> str:
                 "paged out, resident high-water "
                 f"{_fmt_bytes(counters.get('disk.resident_peak_bytes', 0))}"
             )
+        critpath = sec.get("critpath")
+        if critpath is not None:
+            whatif = critpath.get("whatif") or []
+            top = whatif[0] if whatif else None
+            line = (
+                f"  critpath: {len(critpath.get('nodes', []))} node(s), "
+                f"{len(critpath.get('critical_path', []))} on path"
+            )
+            if top is not None:
+                line += (
+                    f"; best ceiling {top['speedup_ceiling']:.3f}x "
+                    f"({top['scenario']})"
+                )
+            lines.append(line)
+            bounds = critpath.get("round_bounds")
+            if bounds:
+                lines.append(
+                    "  round attribution: " + ", ".join(
+                        f"{k}={v}" for k, v in bounds.items()
+                    )
+                )
         memtrace = sec.get("memtrace")
         if memtrace is not None:
             workers = memtrace.get("workers", [])
@@ -640,6 +721,29 @@ def diff_runreports(
                     f"  kernel {kernel}: bound flipped "
                     f"{old_bounds[kernel]} -> {new_bounds[kernel]}"
                 )
+        old_whatif = {
+            row["scenario"]: row.get("speedup_ceiling")
+            for row in (a.get("critpath") or {}).get("whatif", [])
+        }
+        new_whatif = {
+            row["scenario"]: row.get("speedup_ceiling")
+            for row in (b.get("critpath") or {}).get("whatif", [])
+        }
+        for scenario in sorted(set(old_whatif) & set(new_whatif)):
+            if old_whatif[scenario] != new_whatif[scenario]:
+                # informational: a moved ceiling is a shifted bottleneck,
+                # not by itself a regression
+                section_lines.append(
+                    f"  whatif {scenario}: ceiling "
+                    f"{old_whatif[scenario]:.3f}x -> "
+                    f"{new_whatif[scenario]:.3f}x"
+                )
+        old_rb = (a.get("critpath") or {}).get("round_bounds")
+        new_rb = (b.get("critpath") or {}).get("round_bounds")
+        if old_rb is not None and new_rb is not None and old_rb != new_rb:
+            section_lines.append(
+                f"  critpath round bounds: {old_rb!r} -> {new_rb!r}"
+            )
         old_hist = (a.get("multicore") or {}).get("bound_histogram")
         new_hist = (b.get("multicore") or {}).get("bound_histogram")
         if old_hist is not None and new_hist is not None \
@@ -689,6 +793,8 @@ def collect_run_report(
             kwargs["profile"] = True
         if name in api.MEMTRACEABLE:
             kwargs["memtrace"] = True
+        if name in api.CRITPATHABLE:
+            kwargs["critpath"] = True
         if trace:
             start_tracing()  # a fresh tracer per run: no cross-talk
             try:

@@ -26,8 +26,11 @@ __all__ = ["to_folded", "write_folded"]
 
 
 def _frame(text: str) -> str:
-    """Sanitise one frame: the format reserves ``;`` and newlines."""
-    return text.replace(";", ",").replace("\n", " ").strip() or "?"
+    """Sanitise one frame: the format reserves ``;`` (frame separator)
+    and whitespace (a space splits the stack from its count, a newline
+    splits records), so kernel labels carrying either would corrupt the
+    file.  All whitespace runs collapse to ``_``."""
+    return "_".join(text.replace(";", ",").split()) or "?"
 
 
 def to_folded(report: "ProfileReport") -> str:

@@ -87,6 +87,17 @@ class DecompositionResult:
             artifact, and ``result.report.validate()`` re-checks the
             cross-layer consistency invariants; see the "Run reports"
             section of ``docs/OBSERVABILITY.md``.
+        critpath: the :class:`~repro.obs.critpath.CritPathReport` of
+            the run — causal DAG, per-span slack, exact critical-path
+            accounting, and the ranked what-if speedup-ceiling table —
+            attached when requested (``gpu_peel(..., critpath=True)``,
+            ``multi_gpu_peel(..., critpath=True)``,
+            ``KCoreDecomposer(critpath=True)`` or CLI ``--critpath``),
+            else ``None``.  ``result.critpath.render()`` prints the
+            table, ``result.critpath.validate()`` re-derives every
+            figure exactly, and ``result.critpath.to_json()`` emits the
+            ``repro.critpath/v1`` record; see the "Critical path &
+            what-if" section of ``docs/OBSERVABILITY.md``.
     """
 
     core: np.ndarray
@@ -102,6 +113,7 @@ class DecompositionResult:
     profile: Any = None
     memtrace: Any = None
     report: Any = None
+    critpath: Any = None
 
     def __post_init__(self) -> None:
         core = np.asarray(self.core, dtype=np.int64)

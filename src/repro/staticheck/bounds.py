@@ -65,14 +65,18 @@ from repro.staticheck.symbolic import CeilDiv, Const, Expr, Max, Min, Param
 
 __all__ = [
     "KernelBounds",
+    "KernelFloors",
     "launch_env",
     "scan_bounds",
     "loop_bounds",
+    "scan_floors",
+    "loop_floors",
     "kernel_bounds",
     "shared_footprint",
     "device_memory_bound",
     "cycles_bound",
     "ms_bound",
+    "floor_cycles",
     "REACHABILITY",
     "reachable_functions",
 ]
@@ -87,6 +91,7 @@ _S = Param("S")
 _CAP = Param("cap")
 _SCAP = Param("scap")
 _P = Param("P")
+_T = Param("T")
 
 #: the occupancy-aware buffer-fill refinement: a block's buffer never
 #: holds more than ``min(P, n)`` slots per launch (hard capacity vs the
@@ -116,6 +121,9 @@ def launch_env(
         "scap": float(scap),
         "P": float(cap + scap),
         "R": float(max_degree + 2),
+        # words per 128-byte global-memory transaction at 4-byte ids —
+        # mirrors gpusim.context's coalescing granularity
+        "T": 32.0,
     }
 
 
@@ -397,6 +405,94 @@ def ms_bound(
     )
 
 
+# -- lower bounds (floor certificates) ---------------------------------------
+
+
+@dataclass(frozen=True)
+class KernelFloors:
+    """Symbolic *lower* bounds on the measured events — the dual of
+    :class:`KernelBounds`.
+
+    Where the upper bounds certify "the kernel can never cost more than
+    this", a floor certifies "no counterfactual can cost less": work the
+    algorithm is obliged to do regardless of atomics, coalescing or
+    barriers.  The critical-path analyzer (:mod:`repro.obs.critpath`)
+    uses floors to bracket its what-if projections from below, so a
+    projection that undershoots its floor is a bug in the projection,
+    not an optimisation opportunity.
+
+    ``per_launch=True`` floors scale with the launch count (e.g. every
+    ``scan(k)`` must re-read all ``n`` degrees); ``per_launch=False``
+    floors hold once over the whole run (e.g. the peeling loop sweeps
+    each adjacency row exactly once — when its owner is removed — no
+    matter how many launches that takes).
+    """
+
+    issued: Expr
+    mem_transactions: Expr
+    per_launch: bool = True
+
+    def evaluate(self, env: Mapping[str, float]) -> Dict[str, float]:
+        return {
+            "issued": self.issued.evaluate(env),
+            "mem_transactions": self.mem_transactions.evaluate(env),
+        }
+
+
+def scan_floors(cfg: VariantConfig) -> KernelFloors:
+    """Per-launch floors for ``scan(k)``: every launch reads all ``n``
+    degrees.
+
+    ``n`` lane-reads need at least ``ceil(n / S)`` warp instructions
+    (a warp instruction covers at most ``S`` lanes) and at least
+    ``ceil(n / T)`` 128-byte transactions (a transaction covers at most
+    ``T`` words) — independent of compaction strategy, shared buffers,
+    or any what-if scenario.
+    """
+    return KernelFloors(
+        issued=CeilDiv(_N, _S),
+        mem_transactions=CeilDiv(_N, _T),
+    )
+
+
+def loop_floors(cfg: VariantConfig) -> KernelFloors:
+    """Run-level floors for ``loop(k)``: a completed peel removes every
+    vertex exactly once and its remover sweeps the full adjacency row.
+
+    ``adj`` neighbor lane-reads across the whole run need at least
+    ``ceil(adj / S)`` warp instructions and ``ceil(adj / T)``
+    transactions, however the rows are split over launches, warps or
+    virtual warps (``per_launch=False``).
+    """
+    return KernelFloors(
+        issued=CeilDiv(_ADJ, _S),
+        mem_transactions=CeilDiv(_ADJ, _T),
+        per_launch=False,
+    )
+
+
+def floor_cycles(
+    floors: KernelFloors, cost: CostModel, env: Mapping[str, float],
+    num_sms: int,
+) -> float:
+    """Numeric lower bound on kernel cycles (one launch, or the whole
+    run when ``floors.per_launch`` is False).
+
+    Sound under-approximation of the roofline: the busiest SM carries
+    at least the mean load (total block busy / ``num_sms``), each
+    block's busy time is at least ``max(compute, memory)`` of its own
+    work, and summing over blocks bounds each term by the totals —
+    ``sum_i max(c_i, m_i) >= max(sum c_i, sum m_i)``.  Latency, barrier
+    and atomic terms are dropped (they are exactly what the what-if
+    scenarios are allowed to erase).
+    """
+    values = floors.evaluate(env)
+    return max(
+        values["issued"] / cost.issue_width,
+        values["mem_transactions"] * cost.mem_transaction_cycles,
+    ) / float(max(1, num_sms))
+
+
 # -- reachability ------------------------------------------------------------
 
 #: the declared call graph the certifier reasons over; the AST pass
@@ -521,6 +617,7 @@ contracts.register_kernel_contract(contracts.KernelContract(
     engine_module="repro.core.fastsim",
     race_arguments=_KCORE_RACE_ARGUMENTS,
     honest_unproven=_ring_is_honest,
+    floors=scan_floors,
 ))
 
 contracts.register_kernel_contract(contracts.KernelContract(
@@ -538,6 +635,7 @@ contracts.register_kernel_contract(contracts.KernelContract(
     engine_module="repro.core.fastsim",
     race_arguments=_KCORE_RACE_ARGUMENTS,
     honest_unproven=_ring_is_honest,
+    floors=loop_floors,
 ))
 
 contracts.register_program_contract(contracts.ProgramContract(

@@ -54,7 +54,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Mapping, Optional, Tuple
 from repro.core.variants import VariantConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle)
-    from repro.staticheck.bounds import KernelBounds
+    from repro.staticheck.bounds import KernelBounds, KernelFloors
     from repro.staticheck.symbolic import Expr
 
 __all__ = [
@@ -130,6 +130,14 @@ class KernelContract:
     #: configs whose undischarged obligations (and missing bounds) are
     #: the declared-honest answer rather than an admission failure
     honest_unproven: Callable[[VariantConfig], bool] = _never_honest
+    #: closed-form *lower* bounds on the measured events (the dual of
+    #: ``bounds``): work the kernel cannot avoid under any counterfactual,
+    #: used by the critical-path analyzer (:mod:`repro.obs.critpath`) to
+    #: floor its what-if projections.  ``None`` (the default) means no
+    #: non-trivial floor is claimed — the analyzer uses zero, which keeps
+    #: every projection trivially bracketed.  Must never raise: floors
+    #: hold for *every* config, including ones ``bounds`` rejects.
+    floors: Optional[Callable[[VariantConfig], "KernelFloors"]] = None
 
     def __post_init__(self) -> None:
         if not self.name or not self.module or not self.entry:
